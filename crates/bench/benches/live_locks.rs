@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the *live* lock implementations.
+//!
+//! These measure the real atomics/parking code on the host:
+//! uncontended acquire/release latency and contended throughput for
+//! each algorithm, with `std::sync::Mutex` and `parking_lot::Mutex`
+//! as external baselines. Absolute host numbers are not comparable to
+//! the paper's T5; orderings are.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malthus::{
+    ClhLock, LifoCrLock, LoiterLock, McsCrLock, McsCrnLock, McsLock, RawLock, TasLock,
+    TatasLock, TicketLock,
+};
+
+fn uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_lock_unlock");
+    g.measurement_time(Duration::from_secs(1)).sample_size(30);
+
+    fn bench_raw<L: RawLock>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, lock: L) {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                lock.lock();
+                // SAFETY: acquired on the line above, same thread.
+                unsafe { lock.unlock() };
+            })
+        });
+    }
+
+    bench_raw(&mut g, "TAS", TasLock::new());
+    bench_raw(&mut g, "TATAS", TatasLock::new());
+    bench_raw(&mut g, "Ticket", TicketLock::new());
+    bench_raw(&mut g, "CLH", ClhLock::new());
+    bench_raw(&mut g, "MCS-STP", McsLock::stp());
+    bench_raw(&mut g, "MCSCR-STP", McsCrLock::stp());
+    bench_raw(&mut g, "MCSCRN-STP", McsCrnLock::stp());
+    bench_raw(&mut g, "LIFO-CR-STP", LifoCrLock::stp());
+    bench_raw(&mut g, "LOITER", LoiterLock::default());
+
+    let std_mutex = std::sync::Mutex::new(());
+    g.bench_function("std::sync::Mutex", |b| {
+        b.iter(|| drop(std_mutex.lock().unwrap()))
+    });
+    let pl_mutex = parking_lot::Mutex::new(());
+    g.bench_function("parking_lot::Mutex", |b| {
+        b.iter(|| drop(pl_mutex.lock()))
+    });
+    g.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_4_threads");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+
+    fn bench_contended<L: RawLock + 'static>(
+        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+        name: &str,
+        mk: impl Fn() -> L,
+    ) {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let lock = Arc::new(mk());
+                let per_thread = (iters / 4).max(1);
+                let start = std::time::Instant::now();
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let lock = Arc::clone(&lock);
+                        std::thread::spawn(move || {
+                            for _ in 0..per_thread {
+                                lock.lock();
+                                // SAFETY: acquired above on this thread.
+                                unsafe { lock.unlock() };
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                start.elapsed()
+            })
+        });
+    }
+
+    bench_contended(&mut g, "TATAS", TatasLock::new);
+    bench_contended(&mut g, "MCS-STP", McsLock::stp);
+    bench_contended(&mut g, "MCSCR-STP", McsCrLock::stp);
+    bench_contended(&mut g, "LIFO-CR-STP", LifoCrLock::stp);
+    bench_contended(&mut g, "LOITER", LoiterLock::default);
+    g.finish();
+}
+
+criterion_group!(benches, uncontended, contended);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 3: Random Access Array throughput vs thread count.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{randarray, LockChoice};
+
+fn main() {
+    let series = [
+        LockChoice::McsS,
+        LockChoice::McsStp,
+        LockChoice::McsCrS,
+        LockChoice::McsCrStp,
+        LockChoice::Null,
+    ];
+    run_figure(
+        "Figure 3: Random Access Array",
+        "aggregate steps/sec",
+        &series,
+        &THREAD_SWEEP,
+        |t, l| randarray::sim(t, l),
+    );
+}

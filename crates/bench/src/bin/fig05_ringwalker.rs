@@ -1,0 +1,14 @@
+//! Figure 5: RingWalker — core-level DTLB pressure.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{ringwalker, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 5: Core-level DTLB Pressure (RingWalker)",
+        "aggregate steps/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| ringwalker::sim(t, l),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 6: libslock stress_latency — pipeline competition.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{stress_latency, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 6: libslock stress_latency",
+        "aggregate lock acquires/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| stress_latency::sim(t, l),
+    );
+}

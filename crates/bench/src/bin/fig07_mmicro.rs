@@ -1,0 +1,14 @@
+//! Figure 7: mmicro — malloc-free scalability over a central lock.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{mmicro, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 7: mmicro (splay-tree allocator, central mutex)",
+        "aggregate malloc-free pairs/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| mmicro::sim(t, l),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 8: leveldb readwhilewriting.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{readwhilewriting, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 8: leveldb readwhilewriting (MiniKv model)",
+        "aggregate operations/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| readwhilewriting::sim(t, l),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 9: Kyoto Cabinet kccachetest.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{kccachetest, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 9: KyotoCabinet kccachetest (CacheDB model)",
+        "aggregate steps/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| kccachetest::sim(t, l),
+    );
+}

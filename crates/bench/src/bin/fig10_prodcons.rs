@@ -1,0 +1,34 @@
+//! Figure 10: producer-consumer with 3 consumer threads.
+//!
+//! X axis = producers; reports messages conveyed per second plus the
+//! acquisitions-per-message diagnostic (3 under FIFO pressure, toward
+//! 2 in CR fast flow).
+
+use malthus_bench::sim_seconds;
+use malthus_metrics::{format_table, Column};
+use malthus_workloads::{prodcons, LockChoice};
+
+fn main() {
+    println!("# Figure 10: producer_consumer, 3 consumers");
+    println!("# messages/sec (acquisitions per message)\n");
+    let series = LockChoice::FIGURE_SET;
+    let mut columns = vec![Column::right("producers")];
+    for s in &series {
+        columns.push(Column::right(s.label()));
+    }
+    let mut rows = Vec::new();
+    for p in [1usize, 2, 5, 8, 16, 32, 64, 128] {
+        let mut row = vec![p.to_string()];
+        for &s in &series {
+            let r = prodcons::sim(p, s).run(sim_seconds());
+            let msgs = prodcons::messages(&r, p);
+            let per = r.admissions[0].len() as f64 / msgs.max(1) as f64;
+            row.push(format!(
+                "{:.0} ({per:.2})",
+                msgs as f64 / sim_seconds()
+            ));
+        }
+        rows.push(row);
+    }
+    print!("{}", format_table(&columns, &rows));
+}

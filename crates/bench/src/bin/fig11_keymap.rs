@@ -1,0 +1,14 @@
+//! Figure 11: keymap — shared-map LLC occupancy.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{keymap, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 11: keymap",
+        "aggregate ops/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| keymap::sim(t, l),
+    );
+}

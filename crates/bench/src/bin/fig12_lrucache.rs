@@ -1,0 +1,14 @@
+//! Figure 12: LRUCache — software-cache interference.
+
+use malthus_bench::{run_figure, THREAD_SWEEP};
+use malthus_workloads::{lrucache, LockChoice};
+
+fn main() {
+    run_figure(
+        "Figure 12: LRUCache (CEPH SimpleLRU)",
+        "aggregate ops/sec",
+        &LockChoice::FIGURE_SET,
+        &THREAD_SWEEP,
+        |t, l| lrucache::sim(t, l),
+    );
+}

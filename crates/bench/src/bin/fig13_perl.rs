@@ -1,0 +1,26 @@
+//! Figure 13: RandArray transliterated to perl — CR via condvars.
+
+use malthus_bench::sim_seconds;
+use malthus_metrics::{format_table, Column};
+use malthus_workloads::perlish;
+
+fn main() {
+    println!("# Figure 13: RandArray transliterated to perl");
+    println!("# iterations/sec; CR applied at the condition variable\n");
+    let columns = vec![
+        Column::right("threads"),
+        Column::right("FIFO"),
+        Column::right("Mostly-LIFO"),
+    ];
+    let mut rows = Vec::new();
+    for t in [1usize, 2, 5, 8, 16, 32, 64, 128, 192, 256] {
+        let fifo = perlish::sim(t, false).run(sim_seconds());
+        let lifo = perlish::sim(t, true).run(sim_seconds());
+        rows.push(vec![
+            t.to_string(),
+            format!("{:.0}", fifo.throughput()),
+            format!("{:.0}", lifo.throughput()),
+        ]);
+    }
+    print!("{}", format_table(&columns, &rows));
+}

@@ -1,0 +1,25 @@
+//! Figure 14: Buffer Pool — the append-probability sweep.
+
+use malthus_bench::sim_seconds;
+use malthus_metrics::{format_table, Column};
+use malthus_workloads::bufferpool;
+
+fn main() {
+    println!("# Figure 14: Buffer Pool (5 x 1MB buffers)");
+    println!("# iterations/sec by condvar append probability\n");
+    let threads = [1usize, 2, 5, 8, 16, 32, 64, 128];
+    let mut columns = vec![Column::right("threads")];
+    for (_, label) in bufferpool::APPEND_PROBABILITIES {
+        columns.push(Column::right(label));
+    }
+    let mut rows = Vec::new();
+    for &t in &threads {
+        let mut row = vec![t.to_string()];
+        for (append_p, _) in bufferpool::APPEND_PROBABILITIES {
+            let r = bufferpool::sim_with_prepend(t, 1.0 - append_p).run(sim_seconds());
+            row.push(format!("{:.0}", r.throughput()));
+        }
+        rows.push(row);
+    }
+    print!("{}", format_table(&columns, &rows));
+}

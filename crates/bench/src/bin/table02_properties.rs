@@ -1,0 +1,29 @@
+//! Figure 2 (table): property comparison of TAS and MCS locks.
+//!
+//! Qualitative, straight from §5 of the paper; printed so the full
+//! evaluation set regenerates from one `cargo run` sweep.
+
+use malthus_metrics::{format_table, Column};
+
+fn main() {
+    println!("# Figure 2: Comparison of TAS and MCS locks\n");
+    let columns = vec![
+        Column::left("Property"),
+        Column::left("TAS"),
+        Column::left("MCS"),
+    ];
+    let rows: Vec<Vec<String>> = [
+        ("Succession", "Competitive", "Direct handoff"),
+        ("Able to use spin-then-park waiting", "No", "Yes"),
+        ("Polite local spinning (coherence)", "No", "Yes"),
+        ("Low contention performance - latency", "Preferred", "Inferior to TAS"),
+        ("High contention performance - throughput", "Inferior to MCS", "Preferred"),
+        ("Performance under preemption", "Preferred", "Lock-waiter preemption"),
+        ("Fairness", "Unbounded unfairness", "Fair (FIFO)"),
+        ("Requires back-off tuning", "Yes", "No"),
+    ]
+    .iter()
+    .map(|(p, t, m)| vec![p.to_string(), t.to_string(), m.to_string()])
+    .collect();
+    print!("{}", format_table(&columns, &rows));
+}

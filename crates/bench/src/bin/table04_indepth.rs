@@ -1,0 +1,70 @@
+//! Figure 4 (table): in-depth RandArray measurements at 32 threads.
+//!
+//! Rows as in the paper: throughput, average LWSS, MTTR, Gini,
+//! RSTDDEV, voluntary context switches, CPU utilization, L3 misses,
+//! and modeled watts above idle.
+
+use malthus_bench::{sim_seconds, steady_lwss, steady_mttr};
+use malthus_metrics::{format_table, gini_coefficient, relative_stddev, Column};
+use malthus_workloads::{randarray, LockChoice};
+
+fn main() {
+    println!("# Figure 4: in-depth RandArray measurements at 32 threads\n");
+    let series = [
+        LockChoice::McsS,
+        LockChoice::McsStp,
+        LockChoice::McsCrS,
+        LockChoice::McsCrStp,
+    ];
+    let mut columns = vec![Column::left("Metric")];
+    for s in &series {
+        columns.push(Column::right(s.label()));
+    }
+    let reports: Vec<_> = series
+        .iter()
+        .map(|&s| randarray::sim(32, s).run(sim_seconds()))
+        .collect();
+    let metric = |name: &str, f: &dyn Fn(usize) -> String| -> Vec<String> {
+        let mut row = vec![name.to_string()];
+        for i in 0..reports.len() {
+            row.push(f(i));
+        }
+        row
+    };
+    let rows = vec![
+        metric("Throughput (ops/sec)", &|i| {
+            format!("{:.2}M", reports[i].throughput() / 1e6)
+        }),
+        metric("Average LWSS (threads)", &|i| {
+            format!("{:.1}", steady_lwss(&reports[i].admissions[0]))
+        }),
+        metric("MTTR (admissions)", &|i| {
+            steady_mttr(&reports[i].admissions[0])
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "-".into())
+        }),
+        metric("Gini Coefficient", &|i| {
+            format!(
+                "{:.3}",
+                gini_coefficient(&reports[i].per_thread_iterations)
+            )
+        }),
+        metric("RSTDDEV", &|i| {
+            format!(
+                "{:.3}",
+                relative_stddev(&reports[i].per_thread_iterations)
+            )
+        }),
+        metric("Voluntary Context Switches", &|i| {
+            reports[i].voluntary_parks.to_string()
+        }),
+        metric("CPU Utilization", &|i| {
+            format!("{:.1}x", reports[i].cpu_utilization())
+        }),
+        metric("L3 Misses", &|i| reports[i].llc_misses().to_string()),
+        metric("Watts above idle (model)", &|i| {
+            format!("{:.0}", reports[i].watts_above_idle)
+        }),
+    ];
+    print!("{}", format_table(&columns, &rows));
+}

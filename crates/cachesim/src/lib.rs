@@ -1,0 +1,36 @@
+//! Functional cache-hierarchy and DTLB simulation with installer tags.
+//!
+//! §6.1 of *Malthusian Locks* describes "a faithful functional software
+//! emulation" of the cache hierarchy, with each line augmented by "a
+//! field that identified which CPU had installed the line", used to
+//! discriminate *intrinsic self-misses* (a CPU displacing lines it
+//! installed itself) from *extrinsic misses* (displacement by other
+//! CPUs sharing the cache — the destructive interference CR removes).
+//! No commercial CPU exposes such a counter, so the paper built one in
+//! software; this crate is that emulation.
+//!
+//! The default T5 configuration constants model the paper's SPARC T5
+//! socket: 16 KB L1D and 128 KB unified L2 per core, an 8 MB 16-way
+//! shared L3, and a 128-entry fully-associative per-core DTLB over
+//! 8 KB pages.
+//!
+//! # Examples
+//!
+//! ```
+//! use malthus_cachesim::{Cache, CacheConfig};
+//!
+//! let mut llc = Cache::new(CacheConfig::t5_l3());
+//! llc.access(0x1000, 0); // CPU 0 installs the line: cold miss
+//! assert_eq!(llc.stats().cold_misses, 1);
+//! assert!(llc.access(0x1000, 1).is_hit()); // shared hit
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod tlb;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats, MissKind};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, Level};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

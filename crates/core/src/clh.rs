@@ -1,0 +1,216 @@
+//! CLH queue lock: FIFO with local spinning on the predecessor's node.
+//!
+//! CLH is the implicit-queue counterpart of MCS: an arriving thread
+//! swaps its node into the tail and spins on its *predecessor's*
+//! release flag. Because the releaser does not know its successor's
+//! identity, CLH cannot be combined with parking (the successor is
+//! invisible), so this is a spin-only FIFO baseline (§5.4 notes all
+//! strictly-FIFO locks use direct handoff; CLH's handoff is the flag
+//! write).
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use malthus_park::cpu_relax;
+
+use crate::raw::RawLock;
+
+struct ClhNode {
+    /// `true` while the owning thread holds or waits for the lock.
+    locked: AtomicBool,
+}
+
+/// A CLH queue lock (strict FIFO, local spinning).
+///
+/// Each acquisition allocates a queue node; the node is reclaimed by
+/// the *successor* after it observes the release, which is the
+/// standard CLH recycling discipline.
+///
+/// # Examples
+///
+/// ```
+/// use malthus::{ClhLock, Mutex};
+///
+/// let m: Mutex<u32, ClhLock> = Mutex::new(5);
+/// assert_eq!(*m.lock(), 5);
+/// ```
+pub struct ClhLock {
+    tail: AtomicPtr<ClhNode>,
+    /// The current owner's node, written by the acquiring thread while
+    /// it holds the lock and read by the same thread at unlock.
+    owner: UnsafeCell<*mut ClhNode>,
+}
+
+// SAFETY: `tail` is an atomic; `owner` is only accessed by the thread
+// currently holding the lock, so the lock itself serializes it.
+unsafe impl Send for ClhLock {}
+// SAFETY: see above.
+unsafe impl Sync for ClhLock {}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClhLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        // The queue starts with one released dummy node so the first
+        // arrival has a predecessor to observe.
+        let dummy = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(false),
+        }));
+        ClhLock {
+            tail: AtomicPtr::new(dummy),
+            owner: UnsafeCell::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl Drop for ClhLock {
+    fn drop(&mut self) {
+        // With no holders or waiters the tail points at the last
+        // released node, which we own.
+        let tail = *self.tail.get_mut();
+        if !tail.is_null() {
+            // SAFETY: exclusive access in Drop; the node was leaked by
+            // `Box::into_raw` in `new`/`lock`.
+            drop(unsafe { Box::from_raw(tail) });
+        }
+    }
+}
+
+// SAFETY: the tail swap serializes arrivals into a queue; each thread
+// enters only after its unique predecessor clears `locked`, so at most
+// one thread is past the spin at a time.
+unsafe impl RawLock for ClhLock {
+    fn lock(&self) {
+        let node = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(true),
+        }));
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` is a live node: predecessors are freed only by
+        // their successor (us), after this spin completes.
+        while unsafe { (*prev).locked.load(Ordering::Acquire) } {
+            cpu_relax();
+        }
+        // SAFETY: the predecessor has released; no thread other than us
+        // references `prev` any more (its owner forgot it at unlock).
+        drop(unsafe { Box::from_raw(prev) });
+        // SAFETY: we now hold the lock, which protects `owner`.
+        unsafe { *self.owner.get() = node };
+    }
+
+    fn try_lock(&self) -> bool {
+        let prev = self.tail.load(Ordering::Acquire);
+        // SAFETY: `prev` is the live tail; it is only freed by the
+        // thread that replaces it as tail, which cannot have happened
+        // while we still see it as tail. A racing free is prevented by
+        // the CAS below failing in that case.
+        if unsafe { (*prev).locked.load(Ordering::Acquire) } {
+            return false;
+        }
+        let node = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(true),
+        }));
+        match self
+            .tail
+            .compare_exchange(prev, node, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                // Predecessor was already released; we own the lock.
+                // SAFETY: as in `lock`, we are the unique successor.
+                drop(unsafe { Box::from_raw(prev) });
+                // SAFETY: we hold the lock.
+                unsafe { *self.owner.get() = node };
+                true
+            }
+            Err(_) => {
+                // SAFETY: `node` was never published.
+                drop(unsafe { Box::from_raw(node) });
+                false
+            }
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // SAFETY: caller holds the lock, so `owner` is ours to read.
+        let node = unsafe { *self.owner.get() };
+        debug_assert!(!node.is_null());
+        // SAFETY: our node; the successor (or Drop) reclaims it.
+        unsafe { (*node).locked.store(false, Ordering::Release) };
+    }
+
+    fn name(&self) -> &'static str {
+        "CLH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(ClhLock::new());
+        let data = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let data = Arc::clone(&data);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    lock.lock();
+                    let v = data.load(Ordering::Relaxed);
+                    data.store(v + 1, Ordering::Relaxed);
+                    // SAFETY: we hold the lock.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(data.load(Ordering::SeqCst), 16_000);
+    }
+
+    #[test]
+    fn sequential_reacquisition() {
+        let l = ClhLock::new();
+        for _ in 0..100 {
+            l.lock();
+            // SAFETY: we hold the lock.
+            unsafe { l.unlock() };
+        }
+    }
+
+    #[test]
+    fn try_lock_round_trip() {
+        let l = ClhLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn drop_without_use_does_not_leak_or_crash() {
+        let _ = ClhLock::new();
+    }
+
+    #[test]
+    fn drop_after_use() {
+        let l = ClhLock::new();
+        l.lock();
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        drop(l);
+    }
+}

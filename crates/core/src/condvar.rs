@@ -1,0 +1,317 @@
+//! Condition variables with a CR (mostly-LIFO) admission discipline.
+//!
+//! §6.10–6.11 of the paper apply concurrency restriction *via the
+//! condition variable* rather than the mutex: the wait list is
+//! maintained explicitly, and a Bernoulli trial decides per wait
+//! whether the waiter is prepended (LIFO — restricting the set of
+//! threads that circulate) or appended (FIFO — guaranteeing eventual
+//! long-term fairness). With prepend probability 0 this is the strict
+//! FIFO condvar used as the paper's baseline; with 999/1000 it is the
+//! paper's mostly-LIFO CR form.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+
+use malthus_park::{WaitCell, WaitPolicy};
+
+use crate::mutex::MutexGuard;
+use crate::policy::AdmissionDiscipline;
+use crate::raw::RawLock;
+use crate::tas::TasLock;
+
+/// A condition variable with configurable admission discipline.
+///
+/// Works with any [`Mutex`](crate::Mutex) from this crate. Waits are
+/// subject to spurious wakeups in principle (callers must re-check
+/// their predicate in a loop), although this implementation only wakes
+/// notified waiters.
+///
+/// # Examples
+///
+/// ```
+/// use malthus::{CrCondvar, McsMutex};
+/// use std::sync::Arc;
+///
+/// let q = Arc::new(McsMutex::default_stp(Vec::<u32>::new()));
+/// let cv = Arc::new(CrCondvar::mostly_lifo());
+/// let (q2, cv2) = (Arc::clone(&q), Arc::clone(&cv));
+/// let consumer = std::thread::spawn(move || {
+///     let mut g = q2.lock();
+///     while g.is_empty() {
+///         g = cv2.wait(g);
+///     }
+///     g.pop().unwrap()
+/// });
+/// q.lock().push(42);
+/// cv.notify_one();
+/// assert_eq!(consumer.join().unwrap(), 42);
+/// ```
+pub struct CrCondvar {
+    /// Internal short-duration spinlock guarding the wait list.
+    list_lock: TasLock,
+    /// Wait list; front = next to be notified.
+    waiters: UnsafeCell<VecDeque<*const WaitCell>>,
+    /// Append/prepend Bernoulli state; guarded by `list_lock`.
+    discipline: UnsafeCell<AdmissionDiscipline>,
+    policy: WaitPolicy,
+}
+
+// SAFETY: the raw cell pointers in `waiters` are only dereferenced
+// while their owning waiters are provably blocked in `wait` (cells are
+// removed from the list before being signalled), and the list itself
+// is guarded by `list_lock`.
+unsafe impl Send for CrCondvar {}
+// SAFETY: see above.
+unsafe impl Sync for CrCondvar {}
+
+impl CrCondvar {
+    /// Creates a condvar with an explicit discipline and waiting
+    /// policy.
+    pub fn with_discipline(discipline: AdmissionDiscipline, policy: WaitPolicy) -> Self {
+        CrCondvar {
+            list_lock: TasLock::new(),
+            waiters: UnsafeCell::new(VecDeque::new()),
+            discipline: UnsafeCell::new(discipline),
+            policy,
+        }
+    }
+
+    /// Strict-FIFO condvar (the paper's baseline).
+    pub fn fifo() -> Self {
+        Self::with_discipline(
+            AdmissionDiscipline::fifo(0x51CE),
+            WaitPolicy::spin_then_park(),
+        )
+    }
+
+    /// Mostly-LIFO CR condvar (prepend 999/1000).
+    pub fn mostly_lifo() -> Self {
+        Self::with_discipline(
+            AdmissionDiscipline::mostly_lifo(0x0DD5),
+            WaitPolicy::spin_then_park(),
+        )
+    }
+
+    /// Condvar with an arbitrary prepend probability (sensitivity
+    /// sweeps, Figure 14).
+    pub fn with_prepend_probability(p: f64, seed: u64) -> Self {
+        Self::with_discipline(AdmissionDiscipline::new(p, seed), WaitPolicy::spin_then_park())
+    }
+
+    /// Atomically releases `guard`'s mutex and waits for a
+    /// notification, then reacquires the mutex.
+    pub fn wait<'a, T: ?Sized, L: RawLock>(
+        &self,
+        guard: MutexGuard<'a, T, L>,
+    ) -> MutexGuard<'a, T, L> {
+        let mutex = guard.mutex();
+        // The cell lives on our stack; we cannot return before it is
+        // signalled, and it is unlinked before signalling, so no
+        // dangling pointer can remain in the list.
+        let cell = WaitCell::new();
+        self.enqueue(&cell);
+        drop(guard); // release the user mutex *after* enqueueing
+        cell.wait(self.policy);
+        mutex.lock()
+    }
+
+    /// Waits until `predicate` holds, re-checking after every wakeup.
+    pub fn wait_while<'a, T: ?Sized, L: RawLock>(
+        &self,
+        mut guard: MutexGuard<'a, T, L>,
+        mut predicate: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T, L> {
+        while predicate(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes the waiter at the front of the list, if any.
+    pub fn notify_one(&self) {
+        let cell = {
+            self.list_lock.lock();
+            // SAFETY: `list_lock` is held.
+            let cell = unsafe { (*self.waiters.get()).pop_front() };
+            // SAFETY: we acquired it above.
+            unsafe { self.list_lock.unlock() };
+            cell
+        };
+        if let Some(cell) = cell {
+            // SAFETY: the owning waiter is blocked until this signal;
+            // the pointer was removed from the list so nobody else can
+            // signal it.
+            unsafe { (*cell).signal() };
+        }
+    }
+
+    /// Wakes every current waiter.
+    pub fn notify_all(&self) {
+        let drained: Vec<*const WaitCell> = {
+            self.list_lock.lock();
+            // SAFETY: `list_lock` is held.
+            let drained = unsafe { (*self.waiters.get()).drain(..).collect() };
+            // SAFETY: we acquired it above.
+            unsafe { self.list_lock.unlock() };
+            drained
+        };
+        for cell in drained {
+            // SAFETY: as in `notify_one`.
+            unsafe { (*cell).signal() };
+        }
+    }
+
+    /// Number of threads currently waiting (racy diagnostic).
+    pub fn waiter_count(&self) -> usize {
+        self.list_lock.lock();
+        // SAFETY: `list_lock` is held.
+        let n = unsafe { (*self.waiters.get()).len() };
+        // SAFETY: we acquired it above.
+        unsafe { self.list_lock.unlock() };
+        n
+    }
+
+    fn enqueue(&self, cell: &WaitCell) {
+        self.list_lock.lock();
+        // SAFETY: `list_lock` is held; both fields are guarded by it.
+        unsafe {
+            let prepend = (*self.discipline.get()).prepend();
+            let list = &mut *self.waiters.get();
+            if prepend {
+                list.push_front(cell as *const WaitCell);
+            } else {
+                list.push_back(cell as *const WaitCell);
+            }
+            self.list_lock.unlock();
+        }
+    }
+}
+
+impl Default for CrCondvar {
+    fn default() -> Self {
+        Self::fifo()
+    }
+}
+
+impl std::fmt::Debug for CrCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrCondvar")
+            .field("waiters", &self.waiter_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aliases::McsMutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn notify_one_wakes_single_waiter() {
+        let m = Arc::new(McsMutex::default_stp(false));
+        let cv = Arc::new(CrCondvar::fifo());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                g = cv2.wait(g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        *m.lock() = true;
+        cv.notify_one();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let m = Arc::new(McsMutex::default_stp(false));
+        let cv = Arc::new(CrCondvar::mostly_lifo());
+        let woke = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let (m, cv, woke) = (Arc::clone(&m), Arc::clone(&cv), Arc::clone(&woke));
+            handles.push(std::thread::spawn(move || {
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+                drop(g);
+                woke.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // Wait until all six are enqueued.
+        while cv.waiter_count() < 6 {
+            std::thread::yield_now();
+        }
+        *m.lock() = true;
+        cv.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn wait_while_loops_until_predicate_clears() {
+        let m = Arc::new(McsMutex::default_stp(0u32));
+        let cv = Arc::new(CrCondvar::fifo());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            let g = m2.lock();
+            let g = cv2.wait_while(g, |v| *v < 3);
+            *g
+        });
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(10));
+            *m.lock() += 1;
+            cv.notify_one();
+        }
+        assert_eq!(h.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn fifo_discipline_wakes_in_arrival_order() {
+        let m = Arc::new(McsMutex::default_stp(-1i64));
+        let cv = Arc::new(CrCondvar::fifo());
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..4i64 {
+            let (tm, tcv, torder) = (Arc::clone(&m), Arc::clone(&cv), Arc::clone(&order));
+            handles.push(std::thread::spawn(move || {
+                let mut g = tm.lock();
+                while *g != i {
+                    g = tcv.wait(g);
+                }
+                torder.lock().unwrap().push(i);
+            }));
+            // Serialize arrival order.
+            while cv.waiter_count() as i64 != i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        for i in 0..4i64 {
+            *m.lock() = i;
+            // Wake everyone; only thread i proceeds, the rest re-queue.
+            cv.notify_all();
+            while order.lock().unwrap().len() as i64 != i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock().unwrap(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn notify_without_waiters_is_noop() {
+        let cv = CrCondvar::fifo();
+        cv.notify_one();
+        cv.notify_all();
+        assert_eq!(cv.waiter_count(), 0);
+    }
+}

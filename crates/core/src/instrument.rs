@@ -1,0 +1,221 @@
+//! Admission-order instrumentation for fairness measurement.
+//!
+//! The paper's short-term fairness metrics (average LWSS, MTTR) are
+//! functions of the lock's *admission history*: the sequence of thread
+//! identities in acquisition order. [`Instrumented`] wraps any
+//! [`RawLock`] and appends the acquiring thread's compact index to a
+//! log *while holding the lock*, so the log order is exactly the
+//! admission order with no extra synchronization.
+
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::raw::RawLock;
+
+static NEXT_THREAD_INDEX: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static THREAD_INDEX: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+/// Returns a small dense index unique to the calling thread.
+///
+/// Indices are assigned on first use in program order and never
+/// reused; they serve as the thread identities in admission logs.
+pub fn current_thread_index() -> u32 {
+    THREAD_INDEX.with(|slot| match slot.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(i));
+            i
+        }
+    })
+}
+
+/// A [`RawLock`] wrapper that records the admission history.
+///
+/// # Examples
+///
+/// ```
+/// use malthus::{Instrumented, Mutex, TasLock};
+///
+/// let m: Mutex<u32, Instrumented<TasLock>> =
+///     Mutex::with_raw(Instrumented::new(TasLock::new()), 0);
+/// *m.lock() += 1;
+/// *m.lock() += 1;
+/// let history = m.raw().history_snapshot();
+/// assert_eq!(history.len(), 2);
+/// assert_eq!(history[0], history[1]); // same thread twice
+/// ```
+pub struct Instrumented<L: RawLock> {
+    inner: L,
+    /// Admission log; appended to while holding `inner`, so the inner
+    /// lock itself is the log's guard.
+    log: UnsafeCell<Vec<u32>>,
+}
+
+// SAFETY: `log` is only accessed while `inner` is held.
+unsafe impl<L: RawLock> Send for Instrumented<L> {}
+// SAFETY: see above.
+unsafe impl<L: RawLock> Sync for Instrumented<L> {}
+
+impl<L: RawLock> Instrumented<L> {
+    /// Wraps `inner`, starting with an empty history.
+    pub fn new(inner: L) -> Self {
+        Instrumented {
+            inner,
+            log: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Copies the admission history (briefly acquires the lock).
+    pub fn history_snapshot(&self) -> Vec<u32> {
+        self.inner.lock();
+        // SAFETY: we hold the lock, which guards the log.
+        let copy = unsafe { (*self.log.get()).clone() };
+        // SAFETY: acquired above.
+        unsafe { self.inner.unlock() };
+        copy
+    }
+
+    /// Clears the history (briefly acquires the lock).
+    pub fn reset_history(&self) {
+        self.inner.lock();
+        // SAFETY: we hold the lock.
+        unsafe { (*self.log.get()).clear() };
+        // SAFETY: acquired above.
+        unsafe { self.inner.unlock() };
+    }
+
+    /// Number of recorded admissions (briefly acquires the lock).
+    pub fn admissions(&self) -> usize {
+        self.inner.lock();
+        // SAFETY: we hold the lock.
+        let n = unsafe { (*self.log.get()).len() };
+        // SAFETY: acquired above.
+        unsafe { self.inner.unlock() };
+        n
+    }
+
+    fn record(&self) {
+        // SAFETY: called only while holding `inner`.
+        unsafe { (*self.log.get()).push(current_thread_index()) };
+    }
+}
+
+impl<L: RawLock + Default> Default for Instrumented<L> {
+    fn default() -> Self {
+        Self::new(L::default())
+    }
+}
+
+// SAFETY: delegates exclusion entirely to the wrapped lock; the log
+// write happens inside the critical section.
+unsafe impl<L: RawLock> RawLock for Instrumented<L> {
+    fn lock(&self) {
+        self.inner.lock();
+        self.record();
+    }
+
+    fn try_lock(&self) -> bool {
+        if self.inner.try_lock() {
+            self.record();
+            true
+        } else {
+            false
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.inner.unlock() };
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcscr::McsCrLock;
+    use crate::tas::TasLock;
+    use std::sync::Arc;
+
+    #[test]
+    fn thread_index_is_stable_per_thread() {
+        let a = current_thread_index();
+        let b = current_thread_index();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(current_thread_index).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn history_records_admissions_in_order() {
+        let l = Instrumented::new(TasLock::new());
+        for _ in 0..5 {
+            l.lock();
+            // SAFETY: held.
+            unsafe { l.unlock() };
+        }
+        let h = l.history_snapshot();
+        assert_eq!(h.len(), 5);
+        assert!(h.iter().all(|&t| t == h[0]));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let l = Instrumented::new(TasLock::new());
+        l.lock();
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        assert_eq!(l.admissions(), 1);
+        l.reset_history();
+        assert_eq!(l.admissions(), 0);
+    }
+
+    #[test]
+    fn contended_history_is_complete_permutation_of_work() {
+        let lock = Arc::new(Instrumented::new(McsCrLock::stp()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    lock.lock();
+                    // SAFETY: held.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let h = lock.history_snapshot();
+        assert_eq!(h.len(), 2_000, "every admission must be recorded");
+        // Each participating thread appears exactly 500 times.
+        let mut counts = std::collections::HashMap::new();
+        for t in h {
+            *counts.entry(t).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        assert!(counts.values().all(|&c| c == 500));
+    }
+
+    #[test]
+    fn try_lock_is_recorded() {
+        let l = Instrumented::new(TasLock::new());
+        assert!(l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        assert_eq!(l.admissions(), 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! LOITER: Locking — Outer-Inner with ThRottling (appendix A.1).
+//!
+//! A composite lock: a TAS *outer* lock taken by arriving threads with
+//! a bounded randomized-backoff spin (the fast path), and an MCS
+//! *inner* lock whose holder — the unique **standby thread** — is the
+//! only slow-path thread contending for the outer lock. The ACS is the
+//! set of threads circulating over the outer lock; the PS is the inner
+//! MCS queue; the standby thread sits on the cusp. The result keeps
+//! TAS's preemption tolerance and low-latency competitive succession
+//! while MCS parking passivates the excess threads.
+//!
+//! Long-term fairness: a standby that fails too many rounds turns
+//! *impatient*, and the next unlock performs a direct handoff to it
+//! instead of releasing the outer lock. The standby waits with a
+//! *timed* park so a missed wakeup (the unlock/park race the paper
+//! tolerates via periodic polling) only costs one timeout.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
+use std::time::Duration;
+
+use malthus_park::{polite_spin, Backoff, ParkResult, Parker, XorShift64};
+
+use crate::mcs::McsLock;
+use crate::raw::RawLock;
+
+/// Counters describing LOITER admission behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoiterStats {
+    /// Fast-path (competitive) acquisitions.
+    pub fast_acquisitions: u64,
+    /// Acquisitions by the standby thread via the outer CAS.
+    pub standby_acquisitions: u64,
+    /// Direct handoffs to an impatient standby (anti-starvation).
+    pub direct_handoffs: u64,
+}
+
+/// The LOITER composite lock.
+///
+/// # Examples
+///
+/// ```
+/// use malthus::{LoiterLock, Mutex};
+///
+/// let m: Mutex<u32, LoiterLock> = Mutex::with_raw(LoiterLock::default(), 0);
+/// *m.lock() += 1;
+/// assert_eq!(*m.lock(), 1);
+/// ```
+pub struct LoiterLock {
+    /// The outer TAS lock (competitive succession).
+    outer: AtomicBool,
+    /// The inner lock; its holder is the standby thread.
+    inner: McsLock,
+    /// The standby thread's wake handle plus a generation token: a
+    /// finishing standby only clears its *own* registration, so it
+    /// cannot wipe the registration of the next standby racing in.
+    standby: StdMutex<Option<(u64, malthus_park::Unparker)>>,
+    /// Monotonic standby generation counter.
+    standby_gen: AtomicU64,
+    /// Cheap presence hint so unlock can skip the mutex when no
+    /// standby exists.
+    standby_present: AtomicBool,
+    /// Set by the unlock path to convey ownership directly to the
+    /// standby; consumed (swapped) by the standby.
+    direct_grant: AtomicBool,
+    /// Set by a standby that has waited too long (anti-starvation).
+    impatient: AtomicBool,
+    /// Whether the current owner arrived via the slow path; protected
+    /// by the outer lock.
+    owner_from_slow: UnsafeCell<bool>,
+    /// Maximum fast-path CAS attempts before reverting to the inner
+    /// lock.
+    arrival_spin_attempts: u32,
+    /// Failed standby rounds before requesting direct handoff.
+    impatience_threshold: u32,
+    fast_acquisitions: AtomicU64,
+    standby_acquisitions: AtomicU64,
+    direct_handoffs: AtomicU64,
+}
+
+// SAFETY: all shared fields are atomics or std mutexes except
+// `owner_from_slow`, which is only accessed by the current owner of
+// the outer lock.
+unsafe impl Send for LoiterLock {}
+// SAFETY: see above.
+unsafe impl Sync for LoiterLock {}
+
+impl Default for LoiterLock {
+    fn default() -> Self {
+        Self::new(16, 32)
+    }
+}
+
+impl LoiterLock {
+    /// Creates a LOITER lock.
+    ///
+    /// `arrival_spin_attempts` bounds the fast-path spin phase (each
+    /// attempt backs off with randomized-exponential delay);
+    /// `impatience_threshold` is the number of failed standby rounds
+    /// (each round roughly a timed-park period) before the standby
+    /// demands direct handoff.
+    pub fn new(arrival_spin_attempts: u32, impatience_threshold: u32) -> Self {
+        LoiterLock {
+            outer: AtomicBool::new(false),
+            inner: McsLock::stp(),
+            standby: StdMutex::new(None),
+            standby_gen: AtomicU64::new(0),
+            standby_present: AtomicBool::new(false),
+            direct_grant: AtomicBool::new(false),
+            impatient: AtomicBool::new(false),
+            owner_from_slow: UnsafeCell::new(false),
+            arrival_spin_attempts,
+            impatience_threshold,
+            fast_acquisitions: AtomicU64::new(0),
+            standby_acquisitions: AtomicU64::new(0),
+            direct_handoffs: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of admission counters.
+    pub fn stats(&self) -> LoiterStats {
+        LoiterStats {
+            fast_acquisitions: self.fast_acquisitions.load(Ordering::Relaxed),
+            standby_acquisitions: self.standby_acquisitions.load(Ordering::Relaxed),
+            direct_handoffs: self.direct_handoffs.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn try_outer(&self) -> bool {
+        !self.outer.load(Ordering::Relaxed)
+            && self
+                .outer
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// The slow path: become the standby thread and contend for the
+    /// outer lock until acquired or handed off.
+    fn lock_slow(&self) {
+        self.inner.lock();
+        // We are the unique standby thread. Register a wake handle.
+        let parker = Parker::new();
+        let my_gen = self.standby_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut slot = self.standby.lock().expect("standby mutex poisoned");
+            *slot = Some((my_gen, parker.unparker()));
+        }
+        self.standby_present.store(true, Ordering::Release);
+
+        let mut rounds: u32 = 0;
+        loop {
+            // A direct grant conveys ownership without touching the
+            // outer word (it stays held across the handoff).
+            if self.direct_grant.swap(false, Ordering::AcqRel) {
+                self.direct_handoffs.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            if self.try_outer() {
+                self.standby_acquisitions.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            rounds += 1;
+            if rounds == self.impatience_threshold {
+                self.impatient.store(true, Ordering::Release);
+            }
+            // Standby waiting: brief polite spin, then a *timed* park —
+            // the timeout bounds the damage of any missed wakeup.
+            polite_spin(512);
+            if self.direct_grant.load(Ordering::Acquire)
+                || !self.outer.load(Ordering::Relaxed)
+            {
+                continue;
+            }
+            // Both outcomes (unparked or timed out) just re-poll.
+            let _: ParkResult = parker.park_timeout(Duration::from_micros(500));
+        }
+
+        // Deregister before entering the critical section, but only
+        // our own registration: releasing the inner lock below (in
+        // unlock) may already have produced a successor standby.
+        {
+            let mut slot = self.standby.lock().expect("standby mutex poisoned");
+            if matches!(*slot, Some((gen, _)) if gen == my_gen) {
+                *slot = None;
+                self.standby_present.store(false, Ordering::Release);
+            }
+        }
+        self.impatient.store(false, Ordering::Release);
+        // SAFETY: we now own the outer lock.
+        unsafe { *self.owner_from_slow.get() = true };
+    }
+
+    /// Wakes the standby thread if one is registered.
+    fn wake_standby(&self) {
+        if !self.standby_present.load(Ordering::Acquire) {
+            return;
+        }
+        let slot = self.standby.lock().expect("standby mutex poisoned");
+        if let Some((_, u)) = slot.as_ref() {
+            u.unpark();
+        }
+    }
+}
+
+impl Drop for LoiterLock {
+    fn drop(&mut self) {
+        debug_assert!(
+            !*self.outer.get_mut(),
+            "LoiterLock dropped while held"
+        );
+    }
+}
+
+// SAFETY: mutual exclusion is provided by the outer TAS word: it is
+// acquired by CAS (fast path or standby) or conveyed while held via
+// `direct_grant`, which is only consumed by the unique standby thread
+// while the releaser refrains from clearing the word.
+unsafe impl RawLock for LoiterLock {
+    fn lock(&self) {
+        // Fast path: bounded spin with randomized backoff.
+        if self.try_outer() {
+            self.fast_acquisitions.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: we own the outer lock.
+            unsafe { *self.owner_from_slow.get() = false };
+            return;
+        }
+        let mut backoff = Backoff::for_tas(XorShift64::from_entropy().next_u64());
+        for _ in 0..self.arrival_spin_attempts {
+            backoff.pause();
+            if self.try_outer() {
+                self.fast_acquisitions.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: we own the outer lock.
+                unsafe { *self.owner_from_slow.get() = false };
+                return;
+            }
+        }
+        self.lock_slow();
+    }
+
+    fn try_lock(&self) -> bool {
+        if self.try_outer() {
+            // SAFETY: we own the outer lock.
+            unsafe { *self.owner_from_slow.get() = false };
+            true
+        } else {
+            false
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // SAFETY: caller owns the outer lock.
+        let from_slow = unsafe { *self.owner_from_slow.get() };
+
+        // Anti-starvation: an impatient standby receives the lock by
+        // direct handoff; the outer word stays held across the
+        // transfer so no fast-path thread can barge.
+        if self.impatient.load(Ordering::Acquire)
+            && self.standby_present.load(Ordering::Acquire)
+        {
+            let slot = self.standby.lock().expect("standby mutex poisoned");
+            if let Some((_, u)) = slot.as_ref() {
+                self.direct_grant.store(true, Ordering::Release);
+                u.unpark();
+                drop(slot);
+                if from_slow {
+                    // SAFETY: we acquired the inner lock on our slow path.
+                    unsafe { self.inner.unlock() };
+                }
+                return;
+            }
+        }
+
+        // Competitive succession: release, then alert the heir
+        // presumptive (the standby) if present.
+        self.outer.store(false, Ordering::Release);
+        if from_slow {
+            // SAFETY: we acquired the inner lock on our slow path.
+            unsafe { self.inner.unlock() };
+        }
+        // Defer-and-avoid: if somebody already grabbed the lock there
+        // is no need to wake the standby — the new owner's unlock will.
+        polite_spin(64);
+        if !self.outer.load(Ordering::Relaxed) {
+            self.wake_standby();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LOITER"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn hammer(lock: Arc<LoiterLock>, threads: usize, iters: usize) -> u64 {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..iters {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    // SAFETY: we hold the lock.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn mutual_exclusion_default() {
+        assert_eq!(hammer(Arc::new(LoiterLock::default()), 8, 2_000), 16_000);
+    }
+
+    #[test]
+    fn mutual_exclusion_tiny_spin_bound_forces_slow_path() {
+        // With only one arrival attempt most threads take the inner
+        // lock, exercising the standby machinery heavily.
+        assert_eq!(hammer(Arc::new(LoiterLock::new(1, 4)), 8, 1_000), 8_000);
+    }
+
+    #[test]
+    fn impatience_triggers_direct_handoff() {
+        // Deterministic: hold the lock long enough for the standby to
+        // exhaust its (threshold-1) patience; the unlock must then
+        // convey ownership directly.
+        let lock = Arc::new(LoiterLock::new(1, 1));
+        lock.lock();
+        let l2 = Arc::clone(&lock);
+        let h = std::thread::spawn(move || {
+            l2.lock();
+            // SAFETY: we hold the lock.
+            unsafe { l2.unlock() };
+        });
+        // The waiter burns its one fast-path attempt, becomes standby,
+        // and turns impatient after ~one timed-park round.
+        std::thread::sleep(Duration::from_millis(100));
+        // SAFETY: held since before the spawn.
+        unsafe { lock.unlock() };
+        h.join().unwrap();
+        let stats = lock.stats();
+        assert_eq!(
+            stats.direct_handoffs, 1,
+            "impatient standby must receive a direct handoff: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn uncontended_stays_on_fast_path() {
+        let l = LoiterLock::default();
+        for _ in 0..100 {
+            l.lock();
+            // SAFETY: held.
+            unsafe { l.unlock() };
+        }
+        let stats = l.stats();
+        assert_eq!(stats.fast_acquisitions, 100);
+        assert_eq!(stats.standby_acquisitions, 0);
+        assert_eq!(stats.direct_handoffs, 0);
+    }
+
+    #[test]
+    fn try_lock_round_trip() {
+        let l = LoiterLock::default();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+    }
+}

@@ -1,0 +1,277 @@
+//! Classic MCS queue lock (Mellor-Crummey & Scott, 1991).
+//!
+//! Arriving threads append a node to an explicit queue and spin (or
+//! spin-then-park) on a flag local to their own node; the unlock path
+//! hands ownership directly to the successor. MCS is the paper's
+//! strict-FIFO / direct-handoff / local-spinning baseline, evaluated as
+//! `MCS-S` (unbounded polite spinning) and `MCS-STP` (spin-then-park).
+//! §5.1 explains why `MCS-STP` performs poorly: the next thread to be
+//! granted the lock is the one that has waited longest and is thus the
+//! most likely to have parked, so handovers eat context-switch
+//! latencies inside the effective critical section.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use malthus_park::{cpu_relax, WaitPolicy};
+
+use crate::node::{alloc_node, ensure_reaper, free_node, QNode};
+use crate::raw::RawLock;
+
+/// Spins until `node.next` has been linked by an in-flight arrival.
+///
+/// # Safety
+///
+/// `node` must be a live queue node for which an arrival is known to
+/// be in progress (tail no longer equals `node`).
+pub(crate) unsafe fn wait_link(node: *mut QNode) -> *mut QNode {
+    loop {
+        // SAFETY: caller guarantees `node` is live.
+        let next = unsafe { (*node).next.load(Ordering::Acquire) };
+        if !next.is_null() {
+            return next;
+        }
+        cpu_relax();
+    }
+}
+
+/// A classic MCS lock, parameterized by waiting policy.
+///
+/// # Examples
+///
+/// ```
+/// use malthus::{McsLock, Mutex};
+/// use malthus_park::WaitPolicy;
+///
+/// let spin: Mutex<u32, McsLock> = Mutex::with_raw(McsLock::new(WaitPolicy::spin()), 0);
+/// let stp: Mutex<u32, McsLock> = Mutex::with_raw(McsLock::stp(), 0);
+/// *spin.lock() += 1;
+/// *stp.lock() += 1;
+/// ```
+pub struct McsLock {
+    tail: AtomicPtr<QNode>,
+    /// The owner's node; accessed only by the current lock holder.
+    owner: UnsafeCell<*mut QNode>,
+    policy: WaitPolicy,
+}
+
+// SAFETY: `tail` is atomic and `owner` is serialized by the lock
+// itself (only the holder touches it).
+unsafe impl Send for McsLock {}
+// SAFETY: see above.
+unsafe impl Sync for McsLock {}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::stp()
+    }
+}
+
+impl McsLock {
+    /// Creates an unlocked MCS lock with the given waiting policy.
+    pub fn new(policy: WaitPolicy) -> Self {
+        McsLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            owner: UnsafeCell::new(ptr::null_mut()),
+            policy,
+        }
+    }
+
+    /// `MCS-S`: unbounded polite spinning.
+    pub fn spin() -> Self {
+        Self::new(WaitPolicy::spin())
+    }
+
+    /// `MCS-STP`: spin-then-park with the paper's default budget.
+    pub fn stp() -> Self {
+        Self::new(WaitPolicy::spin_then_park())
+    }
+
+    /// Returns `true` if any thread holds or waits for the lock.
+    pub fn is_contended_or_held(&self) -> bool {
+        !self.tail.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl Drop for McsLock {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.tail.get_mut().is_null(),
+            "McsLock dropped while held or contended"
+        );
+    }
+}
+
+// SAFETY: the tail swap totally orders arrivals; each waiter is
+// released exactly once by its predecessor's unlock, so a single
+// thread holds the lock at any time. Release/acquire edges come from
+// the tail swap/CAS and the wait-cell signal.
+unsafe impl RawLock for McsLock {
+    fn lock(&self) {
+        ensure_reaper();
+        let node = alloc_node();
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` is live: its owner cannot release and free
+            // it before observing our link (the MCS protocol waits for
+            // `next` once the tail has moved past it).
+            unsafe {
+                (*prev).next.store(node, Ordering::Release);
+                (*node).cell.wait(self.policy);
+            }
+        }
+        // SAFETY: we hold the lock; `owner` is ours.
+        unsafe { *self.owner.get() = node };
+    }
+
+    fn try_lock(&self) -> bool {
+        ensure_reaper();
+        let node = alloc_node();
+        if self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // SAFETY: we hold the lock.
+            unsafe { *self.owner.get() = node };
+            true
+        } else {
+            // SAFETY: the node was never published.
+            unsafe { free_node(node) };
+            false
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // SAFETY: caller holds the lock.
+        let me = unsafe { *self.owner.get() };
+        debug_assert!(!me.is_null());
+        // SAFETY: `me` is our live node.
+        let mut succ = unsafe { (*me).next.load(Ordering::Acquire) };
+        if succ.is_null() {
+            if self
+                .tail
+                .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // No successor; the queue is empty.
+                // SAFETY: nobody else can reach `me` after the CAS.
+                unsafe { free_node(me) };
+                return;
+            }
+            // An arrival swapped the tail but has not linked yet.
+            // SAFETY: the arrival is committed to writing `me.next`.
+            succ = unsafe { wait_link(me) };
+        }
+        // SAFETY: `succ` is a live waiting node; signalling releases it
+        // and we never touch it afterwards.
+        unsafe { (*succ).cell.signal() };
+        // SAFETY: after the successor is linked no thread references
+        // `me` (arrivals only touch the current tail's `next`).
+        unsafe { free_node(me) };
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            WaitPolicy::Spin => "MCS-S",
+            WaitPolicy::SpinThenPark { .. } => "MCS-STP",
+            WaitPolicy::Park => "MCS-P",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn hammer(lock: Arc<McsLock>, threads: usize, iters: usize) -> u64 {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..iters {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    // SAFETY: we hold the lock.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn mutual_exclusion_spin() {
+        assert_eq!(hammer(Arc::new(McsLock::spin()), 8, 2_000), 16_000);
+    }
+
+    #[test]
+    fn mutual_exclusion_stp() {
+        assert_eq!(hammer(Arc::new(McsLock::stp()), 8, 2_000), 16_000);
+    }
+
+    #[test]
+    fn mutual_exclusion_pure_park() {
+        assert_eq!(
+            hammer(Arc::new(McsLock::new(WaitPolicy::park())), 4, 500),
+            2_000
+        );
+    }
+
+    #[test]
+    fn sequential_uncontended() {
+        let l = McsLock::stp();
+        for _ in 0..1_000 {
+            l.lock();
+            // SAFETY: held.
+            unsafe { l.unlock() };
+        }
+        assert!(!l.is_contended_or_held());
+    }
+
+    #[test]
+    fn try_lock_semantics() {
+        let l = McsLock::spin();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn names_follow_policy() {
+        assert_eq!(McsLock::spin().name(), "MCS-S");
+        assert_eq!(McsLock::stp().name(), "MCS-STP");
+        assert_eq!(McsLock::new(WaitPolicy::park()).name(), "MCS-P");
+    }
+
+    #[test]
+    fn contended_handoff_two_threads() {
+        // Force genuine handoffs by holding the lock while the other
+        // thread arrives.
+        let l = Arc::new(McsLock::stp());
+        let l2 = Arc::clone(&l);
+        l.lock();
+        let h = std::thread::spawn(move || {
+            l2.lock();
+            // SAFETY: held.
+            unsafe { l2.unlock() };
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // SAFETY: held since before the spawn.
+        unsafe { l.unlock() };
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,444 @@
+//! MCSCRN: NUMA-aware concurrency restriction (§9.1 "Future Work").
+//!
+//! MCSCRN starts from MCSCR but changes the culling *criterion*:
+//! instead of passivating surplus threads generally, the unlock path
+//! culls threads that are **remote** — running on a NUMA node other
+//! than the currently preferred *home* node — onto an explicit remote
+//! list. Periodically the unlock operator selects a new home node from
+//! the remote list (the eldest waiter's node, conferring long-term
+//! fairness) and drains that node's threads back into the main chain.
+//! A deficit on the main chain reprovisions from the remote list, so
+//! the policy stays work conserving. Unlike cohort locks, MCSCRN is
+//! non-hierarchical: one small fixed-size lock word, no per-node
+//! sublocks.
+//!
+//! Threads declare their NUMA node via
+//! [`set_current_numa_node`](crate::set_current_numa_node); a real
+//! deployment would sample `getcpu`-style topology information.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use malthus_park::{WaitPolicy, XorShift64};
+
+use crate::mcs::wait_link;
+use crate::mcscr::PassiveList;
+use crate::node::{alloc_node, ensure_reaper, free_node, QNode};
+use crate::policy::FairnessTrigger;
+use crate::raw::RawLock;
+
+/// Sentinel meaning "no home node selected yet".
+const NO_HOME: u32 = u32::MAX;
+
+/// Counters describing MCSCRN activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NumaStats {
+    /// Remote threads culled from the main chain.
+    pub remote_culls: u64,
+    /// Threads promoted because the main chain drained.
+    pub reprovisions: u64,
+    /// Home-node rotations (fairness events).
+    pub home_rotations: u64,
+    /// Threads drained back into the chain by rotations.
+    pub drained: u64,
+}
+
+/// The MCSCRN NUMA-aware lock.
+///
+/// # Examples
+///
+/// ```
+/// use malthus::{McsCrnLock, Mutex};
+///
+/// let m: Mutex<u32, McsCrnLock> = Mutex::with_raw(McsCrnLock::stp(), 0);
+/// *m.lock() += 1;
+/// ```
+pub struct McsCrnLock {
+    tail: AtomicPtr<QNode>,
+    /// Owner's node; lock-protected.
+    owner: UnsafeCell<*mut QNode>,
+    /// Remote (culled) threads; lock-protected. Head = most recently
+    /// culled, tail = eldest.
+    remote: UnsafeCell<PassiveList>,
+    /// Currently preferred home node ([`NO_HOME`] until first
+    /// contended unlock).
+    home: AtomicU32,
+    /// Rotation Bernoulli trial; lock-protected.
+    rotation: UnsafeCell<FairnessTrigger>,
+    policy: WaitPolicy,
+    remote_culls: AtomicU64,
+    reprovisions: AtomicU64,
+    home_rotations: AtomicU64,
+    drained: AtomicU64,
+}
+
+// SAFETY: `tail`, `home` and counters are atomics; `owner`, `remote`
+// and `rotation` are accessed only by the current lock holder.
+unsafe impl Send for McsCrnLock {}
+// SAFETY: see above.
+unsafe impl Sync for McsCrnLock {}
+
+impl Default for McsCrnLock {
+    fn default() -> Self {
+        Self::stp()
+    }
+}
+
+impl McsCrnLock {
+    /// Creates an MCSCRN lock with explicit parameters.
+    pub fn with_params(policy: WaitPolicy, rotation_period: u64, seed: u64) -> Self {
+        McsCrnLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            owner: UnsafeCell::new(ptr::null_mut()),
+            remote: UnsafeCell::new(PassiveList::new()),
+            home: AtomicU32::new(NO_HOME),
+            rotation: UnsafeCell::new(FairnessTrigger::new(rotation_period, seed)),
+            policy,
+            remote_culls: AtomicU64::new(0),
+            reprovisions: AtomicU64::new(0),
+            home_rotations: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an MCSCRN lock with the default 1/1000 rotation period.
+    pub fn new(policy: WaitPolicy) -> Self {
+        Self::with_params(policy, 1000, XorShift64::from_entropy().next_u64())
+    }
+
+    /// Unbounded polite spinning variant.
+    pub fn spin() -> Self {
+        Self::new(WaitPolicy::spin())
+    }
+
+    /// Spin-then-park variant.
+    pub fn stp() -> Self {
+        Self::new(WaitPolicy::spin_then_park())
+    }
+
+    /// The currently preferred home NUMA node, if any.
+    pub fn home_node(&self) -> Option<u32> {
+        match self.home.load(Ordering::Relaxed) {
+            NO_HOME => None,
+            n => Some(n),
+        }
+    }
+
+    /// Snapshot of NUMA-CR counters.
+    pub fn numa_stats(&self) -> NumaStats {
+        NumaStats {
+            remote_culls: self.remote_culls.load(Ordering::Relaxed),
+            reprovisions: self.reprovisions.load(Ordering::Relaxed),
+            home_rotations: self.home_rotations.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Grafts the chain `first ..= last` (already linked through
+    /// `next`) immediately after owner `me` and grants to `first`.
+    ///
+    /// # Safety
+    ///
+    /// Caller holds the lock; the chain nodes are live and in no list;
+    /// `last.next` is writable by us.
+    unsafe fn graft_chain(&self, me: *mut QNode, first: *mut QNode, last: *mut QNode) {
+        // SAFETY: caller contract.
+        unsafe {
+            let succ = (*me).next.load(Ordering::Acquire);
+            if succ.is_null() {
+                (*last).next.store(ptr::null_mut(), Ordering::Relaxed);
+                if self
+                    .tail
+                    .compare_exchange(me, last, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    (*first).cell.signal();
+                    free_node(me);
+                    return;
+                }
+                let succ = wait_link(me);
+                (*last).next.store(succ, Ordering::Release);
+                (*first).cell.signal();
+                free_node(me);
+                return;
+            }
+            (*last).next.store(succ, Ordering::Release);
+            (*first).cell.signal();
+            free_node(me);
+        }
+    }
+}
+
+impl Drop for McsCrnLock {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.tail.get_mut().is_null(),
+            "McsCrnLock dropped while held or contended"
+        );
+        debug_assert!(
+            // SAFETY: exclusive access in Drop.
+            unsafe { (*self.remote.get()).is_empty() },
+            "McsCrnLock dropped with culled waiters"
+        );
+    }
+}
+
+// SAFETY: as for MCSCR — classic MCS arrivals; all edits under the
+// lock; every waiter signalled exactly once (normal handoff, cull →
+// reprovision/drain).
+unsafe impl RawLock for McsCrnLock {
+    fn lock(&self) {
+        ensure_reaper();
+        let node = alloc_node();
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` is live until it observes our link.
+            unsafe {
+                (*prev).next.store(node, Ordering::Release);
+                (*node).cell.wait(self.policy);
+            }
+        }
+        // SAFETY: we hold the lock.
+        unsafe { *self.owner.get() = node };
+    }
+
+    fn try_lock(&self) -> bool {
+        ensure_reaper();
+        let node = alloc_node();
+        if self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // SAFETY: we hold the lock.
+            unsafe { *self.owner.get() = node };
+            true
+        } else {
+            // SAFETY: never published.
+            unsafe { free_node(node) };
+            false
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // SAFETY: caller holds the lock; fields below lock-protected.
+        unsafe {
+            let me = *self.owner.get();
+            debug_assert!(!me.is_null());
+            let remote = &mut *self.remote.get();
+
+            // Adopt a home node lazily: the first contended unlock
+            // anoints the owner's node.
+            if self.home.load(Ordering::Relaxed) == NO_HOME {
+                self.home.store((*me).numa.get(), Ordering::Relaxed);
+            }
+
+            // Periodic rotation: pick the eldest remote waiter's node
+            // as the new home and drain that node's threads back.
+            if !remote.is_empty() && (*self.rotation.get()).fire() {
+                let eldest = remote.tail_node();
+                let new_home = (*eldest).numa.get();
+                self.home.store(new_home, Ordering::Relaxed);
+                self.home_rotations.fetch_add(1, Ordering::Relaxed);
+
+                // Collect matching nodes eldest-first and unlink them.
+                let mut matches: Vec<*mut QNode> = Vec::new();
+                remote.for_each_from_tail(|n| {
+                    if (*n).numa.get() == new_home {
+                        matches.push(n);
+                    }
+                });
+                for &n in &matches {
+                    remote.unlink(n);
+                }
+                self.drained
+                    .fetch_add(matches.len() as u64, Ordering::Relaxed);
+                // Link them into a chain: eldest first.
+                for pair in matches.windows(2) {
+                    (*pair[0]).next.store(pair[1], Ordering::Relaxed);
+                }
+                let first = matches[0];
+                let last = *matches.last().expect("non-empty by construction");
+                self.graft_chain(me, first, last);
+                return;
+            }
+
+            let mut succ = (*me).next.load(Ordering::Acquire);
+            if succ.is_null() {
+                // Work conservation: reprovision from the remote list.
+                if !remote.is_empty() {
+                    let warm = remote.pop_head();
+                    (*warm).next.store(ptr::null_mut(), Ordering::Relaxed);
+                    if self
+                        .tail
+                        .compare_exchange(me, warm, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.reprovisions.fetch_add(1, Ordering::Relaxed);
+                        // The newcomer's node becomes the de-facto home.
+                        self.home.store((*warm).numa.get(), Ordering::Relaxed);
+                        (*warm).cell.signal();
+                        free_node(me);
+                        return;
+                    }
+                    remote.push_head(warm);
+                    succ = wait_link(me);
+                } else {
+                    if self
+                        .tail
+                        .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        free_node(me);
+                        return;
+                    }
+                    succ = wait_link(me);
+                }
+            }
+
+            // NUMA culling: if the successor is remote *and* not the
+            // tail (work conservation needs somebody left), cull it.
+            let home = self.home.load(Ordering::Relaxed);
+            if (*succ).numa.get() != home && succ != self.tail.load(Ordering::Acquire) {
+                let next = wait_link(succ);
+                remote.push_head(succ);
+                self.remote_culls.fetch_add(1, Ordering::Relaxed);
+                succ = next;
+            }
+
+            (*succ).cell.signal();
+            free_node(me);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            WaitPolicy::Spin => "MCSCRN-S",
+            WaitPolicy::SpinThenPark { .. } => "MCSCRN-STP",
+            WaitPolicy::Park => "MCSCRN-P",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::set_current_numa_node;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn hammer_numa(lock: Arc<McsCrnLock>, threads: usize, nodes: u32, iters: usize) -> u64 {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                set_current_numa_node(t as u32 % nodes);
+                for _ in 0..iters {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    // SAFETY: we hold the lock.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn mutual_exclusion_two_nodes() {
+        let lock = Arc::new(McsCrnLock::stp());
+        assert_eq!(hammer_numa(lock, 8, 2, 2_000), 16_000);
+    }
+
+    /// Adopts home node 0, holds the lock while `n` remote (node 1)
+    /// waiters enqueue, then releases and joins them.
+    fn run_with_remote_waiters(lock: Arc<McsCrnLock>, n: usize) {
+        set_current_numa_node(0);
+        // Adopt node 0 as home.
+        lock.lock();
+        // SAFETY: held.
+        unsafe { lock.unlock() };
+
+        lock.lock();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                set_current_numa_node(1);
+                lock.lock();
+                // SAFETY: we hold the lock.
+                unsafe { lock.unlock() };
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // SAFETY: held since before the spawns.
+        unsafe { lock.unlock() };
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn remote_waiters_are_culled_deterministically() {
+        // Rotation period is astronomically high: only culling and
+        // reprovisioning can move threads.
+        let lock = Arc::new(McsCrnLock::with_params(WaitPolicy::spin(), 1_000_000, 9));
+        run_with_remote_waiters(Arc::clone(&lock), 3);
+        let stats = lock.numa_stats();
+        assert!(
+            stats.remote_culls >= 1,
+            "remote successor with surplus must be culled: {stats:?}"
+        );
+        assert_eq!(
+            stats.remote_culls,
+            stats.reprovisions + stats.drained,
+            "culled remotes must all be promoted: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn rotation_drains_new_home_node() {
+        // Period 1: the first unlock with a non-empty remote list
+        // rotates the home node and drains the eldest's node.
+        let lock = Arc::new(McsCrnLock::with_params(WaitPolicy::spin(), 1, 13));
+        run_with_remote_waiters(Arc::clone(&lock), 3);
+        let stats = lock.numa_stats();
+        assert!(stats.home_rotations >= 1, "{stats:?}");
+        assert!(stats.drained >= 1, "{stats:?}");
+        assert_eq!(lock.home_node(), Some(1), "home must follow the drain");
+    }
+
+    #[test]
+    fn single_node_behaves_like_mcs() {
+        let lock = Arc::new(McsCrnLock::spin());
+        hammer_numa(Arc::clone(&lock), 4, 1, 2_000);
+        let stats = lock.numa_stats();
+        assert_eq!(stats.remote_culls, 0, "same-node threads are never remote");
+    }
+
+    #[test]
+    fn home_is_adopted_lazily() {
+        let l = McsCrnLock::stp();
+        assert_eq!(l.home_node(), None);
+        l.lock();
+        // SAFETY: held.
+        unsafe { l.unlock() };
+        assert_eq!(l.home_node(), Some(0));
+    }
+
+    #[test]
+    fn try_lock_round_trip() {
+        let l = McsCrnLock::spin();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        // SAFETY: held.
+        unsafe { l.unlock() };
+    }
+}

@@ -1,0 +1,196 @@
+//! Queue nodes shared by the MCS-family locks, with per-thread caching.
+//!
+//! MCS, MCSCR and MCSCRN all enqueue one node per acquisition. Because
+//! [`RawLock`](crate::RawLock) carries no guard token, nodes live on
+//! the heap rather than the waiter's stack; a thread-local free list
+//! amortizes the allocation to nearly nothing on the hot path. A node's
+//! embedded [`WaitCell`] is bound to its creating thread, which is why
+//! the cache must be (and is) thread-local.
+
+use std::cell::{Cell, RefCell};
+use std::ptr;
+use std::sync::atomic::AtomicPtr;
+
+use malthus_park::WaitCell;
+
+/// A queue node for the MCS family.
+///
+/// `next` is the MCS chain link (written by the successor's arrival).
+/// `pprev`/`pnext` link the node into a lock-private doubly-linked
+/// list — the passive set for MCSCR, the remote set for MCSCRN — and
+/// are only ever touched by the current lock holder. `numa` is the
+/// arriving thread's NUMA node id, used by MCSCRN's culling criterion.
+pub(crate) struct QNode {
+    pub(crate) cell: WaitCell,
+    pub(crate) next: AtomicPtr<QNode>,
+    pub(crate) pprev: Cell<*mut QNode>,
+    pub(crate) pnext: Cell<*mut QNode>,
+    pub(crate) numa: Cell<u32>,
+}
+
+impl QNode {
+    fn new() -> Self {
+        QNode {
+            cell: WaitCell::new(),
+            next: AtomicPtr::new(ptr::null_mut()),
+            pprev: Cell::new(ptr::null_mut()),
+            pnext: Cell::new(ptr::null_mut()),
+            numa: Cell::new(0),
+        }
+    }
+}
+
+/// Per-thread node free list; reclaims its contents at thread exit.
+struct NodeCache(RefCell<Vec<*mut QNode>>);
+
+impl Drop for NodeCache {
+    fn drop(&mut self) {
+        for node in self.0.borrow_mut().drain(..) {
+            // SAFETY: cached nodes are quiescent and owned by this
+            // thread; they were created by `Box::into_raw`.
+            drop(unsafe { Box::from_raw(node) });
+        }
+    }
+}
+
+thread_local! {
+    static NODE_CACHE: NodeCache = const { NodeCache(RefCell::new(Vec::new())) };
+    static CURRENT_NUMA: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Declares the calling thread's NUMA node id for MCSCRN culling.
+///
+/// Defaults to node 0. On a real deployment this would query the OS
+/// (e.g. `getcpu`); tests and benchmarks assign ids explicitly.
+pub fn set_current_numa_node(node: u32) {
+    CURRENT_NUMA.with(|c| c.set(node));
+}
+
+/// Returns the calling thread's declared NUMA node id.
+pub fn current_numa_node() -> u32 {
+    CURRENT_NUMA.with(|c| c.get())
+}
+
+/// Allocates (or reuses) a node owned by the calling thread.
+///
+/// The returned node has a fresh (unsignalled) wait cell, a null
+/// `next`, clear list links, and the caller's NUMA id.
+pub(crate) fn alloc_node() -> *mut QNode {
+    let node = NODE_CACHE
+        .try_with(|c| c.0.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| Box::into_raw(Box::new(QNode::new())));
+    // SAFETY: the node came from this thread's cache or a fresh Box;
+    // no other thread references it.
+    unsafe {
+        (*node).next.store(ptr::null_mut(), std::sync::atomic::Ordering::Relaxed);
+        (*node).pprev.set(ptr::null_mut());
+        (*node).pnext.set(ptr::null_mut());
+        (*node).numa.set(current_numa_node());
+    }
+    node
+}
+
+/// Returns a quiescent node to the calling thread's cache.
+///
+/// # Safety
+///
+/// The caller must guarantee that no other thread can still reach the
+/// node (the MCS release protocol establishes this), and that the
+/// calling thread is the one that allocated it (the wait cell is bound
+/// to it).
+pub(crate) unsafe fn free_node(node: *mut QNode) {
+    const CACHE_CAP: usize = 32;
+    // SAFETY: per the contract, we have exclusive access.
+    unsafe {
+        (*node).cell.reset();
+    }
+    let overflow = NODE_CACHE
+        .try_with(|c| {
+            let mut cache = c.0.borrow_mut();
+            if cache.len() < CACHE_CAP {
+                cache.push(node);
+                None
+            } else {
+                Some(node)
+            }
+        })
+        // TLS already destroyed (thread exiting): free directly.
+        .unwrap_or(Some(node));
+    if let Some(node) = overflow {
+        // SAFETY: exclusive access; the node was created by Box::into_raw.
+        drop(unsafe { Box::from_raw(node) });
+    }
+}
+
+/// Forces initialization of the thread's cache so its destructor is
+/// registered before any nodes can be cached.
+pub(crate) fn ensure_reaper() {
+    let _ = NODE_CACHE.try_with(|_| {});
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn alloc_gives_clean_node() {
+        let n = alloc_node();
+        // SAFETY: freshly allocated, owned by this thread.
+        unsafe {
+            assert!((*n).next.load(Ordering::Relaxed).is_null());
+            assert!((*n).pprev.get().is_null());
+            assert!((*n).pnext.get().is_null());
+            free_node(n);
+        }
+    }
+
+    #[test]
+    fn cache_reuses_nodes() {
+        let a = alloc_node();
+        // SAFETY: owned by this thread, quiescent.
+        unsafe { free_node(a) };
+        let b = alloc_node();
+        assert_eq!(a, b, "expected the cached node back");
+        // SAFETY: owned by this thread, quiescent.
+        unsafe { free_node(b) };
+    }
+
+    #[test]
+    fn reused_node_is_sanitized() {
+        let a = alloc_node();
+        // SAFETY: we own the node.
+        unsafe {
+            (*a).next.store(a, Ordering::Relaxed);
+            (*a).pnext.set(a);
+            free_node(a);
+        }
+        let b = alloc_node();
+        assert_eq!(a, b);
+        // SAFETY: we own the node.
+        unsafe {
+            assert!((*b).next.load(Ordering::Relaxed).is_null());
+            assert!((*b).pnext.get().is_null());
+            free_node(b);
+        }
+    }
+
+    #[test]
+    fn numa_id_defaults_and_sets() {
+        std::thread::spawn(|| {
+            assert_eq!(current_numa_node(), 0);
+            set_current_numa_node(3);
+            assert_eq!(current_numa_node(), 3);
+            let n = alloc_node();
+            // SAFETY: we own the node.
+            unsafe {
+                assert_eq!((*n).numa.get(), 3);
+                free_node(n);
+            }
+        })
+        .join()
+        .unwrap();
+    }
+}

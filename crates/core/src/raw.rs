@@ -1,0 +1,90 @@
+//! The raw lock interface implemented by every algorithm in this crate.
+
+/// A raw mutual-exclusion primitive.
+///
+/// Implementations provide mutual exclusion only; data protection is
+/// layered on top by [`Mutex`](crate::Mutex). The trait is `unsafe`
+/// because other unsafe code (the guard types) relies on the
+/// implementation actually providing mutual exclusion.
+///
+/// # Safety
+///
+/// An implementor must guarantee that between a `lock` (or successful
+/// `try_lock`) and the matching `unlock`, no other thread can observe
+/// the lock as acquired by itself.
+pub unsafe trait RawLock: Send + Sync {
+    /// Acquires the lock, blocking (by the lock's waiting policy) until
+    /// it is available.
+    fn lock(&self);
+
+    /// Attempts to acquire the lock without waiting.
+    ///
+    /// Returns `true` on acquisition. Implementations must not spin
+    /// indefinitely; a bounded number of atomic attempts is allowed.
+    fn try_lock(&self) -> bool;
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once per acquisition, by the thread that
+    /// acquired the lock, while the lock is held.
+    unsafe fn unlock(&self);
+
+    /// A short human-readable algorithm name (used by benchmark output).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// A trivial RawLock used to validate the trait contract shape.
+    struct ToyLock {
+        held: AtomicBool,
+    }
+
+    // SAFETY: the CAS in `lock`/`try_lock` admits exactly one holder at
+    // a time and `unlock` releases it.
+    unsafe impl RawLock for ToyLock {
+        fn lock(&self) {
+            while self
+                .held
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                std::hint::spin_loop();
+            }
+        }
+
+        fn try_lock(&self) -> bool {
+            self.held
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        }
+
+        unsafe fn unlock(&self) {
+            self.held.store(false, Ordering::Release);
+        }
+
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn toy_lock_round_trip() {
+        let l = ToyLock {
+            held: AtomicBool::new(false),
+        };
+        l.lock();
+        assert!(!l.try_lock());
+        // SAFETY: we hold the lock.
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        // SAFETY: try_lock succeeded.
+        unsafe { l.unlock() };
+        assert_eq!(l.name(), "toy");
+    }
+}

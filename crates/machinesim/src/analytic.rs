@@ -1,0 +1,134 @@
+//! The analytic throughput model behind the paper's Figure 1.
+//!
+//! Figure 1 is an idealized depiction: throughput rises to *peak*,
+//! saturates, and then — without CR — collapses as excess threads
+//! compete for shared resources, while with CR it plateaus at the
+//! peak. This module reproduces that figure from a small closed-form
+//! model (§1's 10-thread example): CS length `c`, NCS length `n`,
+//! saturation at `(n + c)/c` threads, and a resource-competition
+//! penalty that grows with the number of *circulating* threads beyond
+//! a capacity knee (the LLC-capacity story of §2).
+
+/// Parameters of the idealized model.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticModel {
+    /// Critical-section length (arbitrary time units).
+    pub cs: f64,
+    /// Non-critical-section length.
+    pub ncs: f64,
+    /// Number of circulating threads at which competition for the
+    /// shared resource begins to inflate the critical section (e.g.
+    /// combined footprint reaching the LLC capacity).
+    pub capacity_knee: f64,
+    /// Fractional CS inflation per circulating thread beyond the knee.
+    pub penalty_per_thread: f64,
+}
+
+impl AnalyticModel {
+    /// The paper's §1 example: CS 1 µs, NCS 5 µs (saturation at 6).
+    pub fn paper_example() -> Self {
+        AnalyticModel {
+            cs: 1.0,
+            ncs: 5.0,
+            capacity_knee: 7.0,
+            penalty_per_thread: 0.18,
+        }
+    }
+
+    /// Thread count at which the lock saturates (continuously held).
+    pub fn saturation(&self) -> f64 {
+        (self.ncs + self.cs) / self.cs
+    }
+
+    /// Throughput at `threads` when the effective circulating set is
+    /// `circulating` (iterations per time unit).
+    fn throughput_with_circulation(&self, threads: f64, circulating: f64) -> f64 {
+        // CS inflation from resource competition by circulating
+        // threads beyond the knee.
+        let excess = (circulating - self.capacity_knee).max(0.0);
+        let cs_eff = self.cs * (1.0 + self.penalty_per_thread * excess);
+        let saturation = (self.ncs + cs_eff) / cs_eff;
+        if threads < saturation {
+            // Below saturation the lock is not the bottleneck:
+            // throughput is threads / (cs + ncs).
+            threads / (cs_eff + self.ncs)
+        } else {
+            // At and beyond saturation, CS duration alone dictates
+            // throughput (§3 footnote 7).
+            1.0 / cs_eff
+        }
+    }
+
+    /// Throughput without CR: every thread circulates.
+    pub fn throughput_without_cr(&self, threads: usize) -> f64 {
+        self.throughput_with_circulation(threads as f64, threads as f64)
+    }
+
+    /// Throughput with ideal CR: the circulating set is clamped to
+    /// saturation, excess threads passivated.
+    pub fn throughput_with_cr(&self, threads: usize) -> f64 {
+        let circulating = (threads as f64).min(self.saturation());
+        self.throughput_with_circulation(threads as f64, circulating)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_saturates_at_six() {
+        let m = AnalyticModel::paper_example();
+        assert!((m.saturation() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_saturation_cr_changes_nothing() {
+        let m = AnalyticModel::paper_example();
+        for t in 1..=5 {
+            let a = m.throughput_without_cr(t);
+            let b = m.throughput_with_cr(t);
+            assert!((a - b).abs() < 1e-9, "t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn throughput_rises_to_peak() {
+        let m = AnalyticModel::paper_example();
+        for t in 1..6 {
+            assert!(m.throughput_without_cr(t + 1) > m.throughput_without_cr(t));
+        }
+    }
+
+    #[test]
+    fn without_cr_collapses_beyond_saturation() {
+        let m = AnalyticModel::paper_example();
+        let at_peak = m.throughput_without_cr(6);
+        let at_64 = m.throughput_without_cr(64);
+        assert!(
+            at_64 < at_peak * 0.2,
+            "collapse expected: {at_peak} -> {at_64}"
+        );
+    }
+
+    #[test]
+    fn with_cr_holds_the_plateau() {
+        let m = AnalyticModel::paper_example();
+        let at_peak = m.throughput_with_cr(6);
+        for t in 7..=128 {
+            let thr = m.throughput_with_cr(t);
+            assert!(
+                (thr - at_peak).abs() < 1e-9,
+                "CR must hold the plateau at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn cr_dominates_no_cr_everywhere() {
+        let m = AnalyticModel::paper_example();
+        for t in 1..=128 {
+            assert!(m.throughput_with_cr(t) >= m.throughput_without_cr(t) - 1e-12);
+        }
+    }
+}

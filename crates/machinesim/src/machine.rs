@@ -1,0 +1,241 @@
+//! The machine model: topology, costs, and the execution-speed law.
+//!
+//! All figures in the paper were measured on one socket of an Oracle
+//! SPARC T5-2: 16 cores, 2 pipelines per core that *fuse* when only
+//! one strand is active, 8 hardware strands per core (128 logical
+//! CPUs), an 8 MB shared L3, per-core 128-entry DTLBs, running at
+//! 3.6 GHz under Solaris. We do not have that machine; this module is
+//! its stand-in. Costs are in cycles and only their relative ordering
+//! matters for reproducing curve *shapes*.
+
+use malthus_cachesim::HierarchyConfig;
+
+/// Simulated clock rate (cycles per second) — T5 @ 3.6 GHz.
+pub const CLOCK_HZ: f64 = 3.6e9;
+
+/// Converts seconds of simulated time to cycles.
+pub fn seconds_to_cycles(s: f64) -> u64 {
+    (s * CLOCK_HZ) as u64
+}
+
+/// Machine topology and cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Cores on the socket.
+    pub cores: usize,
+    /// Hardware strands (logical CPUs) per core.
+    pub strands_per_core: usize,
+    /// Relative speed of a thread alone on a core (pipelines fused).
+    pub fused_speed: f64,
+    /// Relative speed with both pipelines active independently.
+    pub unfused_speed: f64,
+    /// Pipeline demand of a politely-spinning strand relative to a
+    /// working strand (the `PAUSE`/`RD CCR,G0` discount, §5.1).
+    pub polite_spin_weight: f64,
+    /// Scheduler time slice in cycles (involuntary preemption).
+    pub quantum_cycles: u64,
+    /// Cost charged to the *caller* of unpark (§5.4 footnote: >9000
+    /// cycles on the T5).
+    pub unpark_call_cycles: u64,
+    /// Latency from unpark until the wakee runs (§5.4: 30000+ cycles
+    /// common even with idle CPUs available).
+    pub unpark_latency_cycles: u64,
+    /// Wake latency for a *freshly* parked thread: the kernel state is
+    /// warm, its CPU has not idled into a sleep state, and dispatch is
+    /// cheap. §5.1: exit latency grows with how long the CPU idles.
+    pub warm_unpark_latency_cycles: u64,
+    /// Park durations below this count as "warm" (see above).
+    pub warm_park_threshold_cycles: u64,
+    /// Extra wakeup latency when the wakee's CPU idled into a deep
+    /// sleep state (§5.1).
+    pub deep_sleep_exit_cycles: u64,
+    /// Idle duration after which a CPU reaches a deep sleep state.
+    pub deep_sleep_threshold_cycles: u64,
+    /// Handover latency to a *spinning* successor (local-spin flag
+    /// write plus pipeline restart).
+    pub spin_handover_cycles: u64,
+    /// Spin budget for spin-then-park waiting. The paper sets this to
+    /// the measured context-switch round trip (~20k cycles on its
+    /// Solaris/T5 stack); in *this* cost model a round trip is
+    /// unpark-call (9k) plus wake latency (30k), so the 2-competitive
+    /// rule (Karlin et al.) puts the budget at ~30k cycles.
+    pub spin_then_park_budget: u64,
+    /// Speed multiplier when at most half the cores have an active
+    /// strand: idle CPUs in deep sleep free thermal/energy headroom
+    /// and turbo accelerates the remaining threads — critically
+    /// including the lock holder (§3, §5.1).
+    pub turbo_boost: f64,
+    /// Core-load threshold below which turbo engages.
+    pub turbo_threshold: f64,
+    /// Watts above idle per fully-working strand (energy model).
+    pub watts_per_working: f64,
+    /// Watts above idle per politely-spinning strand.
+    pub watts_per_spinning: f64,
+}
+
+impl MachineConfig {
+    /// One T5 socket as used in the paper (second socket offline).
+    pub fn t5_socket() -> Self {
+        MachineConfig {
+            cores: 16,
+            strands_per_core: 8,
+            fused_speed: 1.0,
+            unfused_speed: 0.62,
+            polite_spin_weight: 0.9,
+            quantum_cycles: 36_000_000, // 10 ms at 3.6 GHz
+            unpark_call_cycles: 9_000,
+            unpark_latency_cycles: 30_000,
+            warm_unpark_latency_cycles: 6_000,
+            warm_park_threshold_cycles: 50_000,
+            deep_sleep_exit_cycles: 50_000,
+            deep_sleep_threshold_cycles: 1_000_000,
+            spin_handover_cycles: 600,
+            spin_then_park_budget: 30_000,
+            turbo_boost: 1.25,
+            turbo_threshold: 0.5,
+            watts_per_working: 3.2,
+            watts_per_spinning: 2.6,
+        }
+    }
+
+    /// Total logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.cores * self.strands_per_core
+    }
+
+    /// The matching cache-hierarchy geometry.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        HierarchyConfig::t5(self.cores)
+    }
+
+    /// Relative execution speed of a *working* thread given the
+    /// current on-CPU population.
+    ///
+    /// `working` counts threads executing CS/NCS code; `spinning`
+    /// counts polite busy-waiters. Three regimes:
+    ///
+    /// 1. ≤1 active strand per core: pipelines fuse → full speed.
+    /// 2. 1–2 active strands per core: fusion is progressively lost.
+    /// 3. >2 per core: strands share the two pipelines proportionally.
+    ///
+    /// On top of pipeline sharing, when the on-CPU demand exceeds the
+    /// logical CPUs the kernel time-multiplexes, dividing throughput
+    /// by the oversubscription factor.
+    pub fn working_speed(&self, working: usize, spinning: usize) -> f64 {
+        let demand = working as f64 + spinning as f64;
+        let cpus = self.logical_cpus() as f64;
+        let multiplex = if demand > cpus { cpus / demand } else { 1.0 };
+
+        let core_load =
+            (working as f64 + self.polite_spin_weight * spinning as f64) / self.cores as f64;
+        let pipe = if core_load <= self.turbo_threshold {
+            // Mostly-idle socket: deep sleep elsewhere buys turbo here.
+            self.fused_speed * self.turbo_boost
+        } else if core_load <= 1.0 {
+            self.fused_speed
+        } else if core_load <= 2.0 {
+            // Linear loss of fusion between one and two strands/core.
+            self.fused_speed - (self.fused_speed - self.unfused_speed) * (core_load - 1.0)
+        } else {
+            self.unfused_speed * 2.0 / core_load
+        };
+        pipe * multiplex
+    }
+
+    /// Whether the kernel must time-multiplex (ready > CPUs).
+    pub fn oversubscribed(&self, on_cpu_demand: usize) -> bool {
+        on_cpu_demand > self.logical_cpus()
+    }
+
+    /// Expected dispatch delay for a ready thread when `demand`
+    /// threads compete for the CPUs (zero when undersubscribed).
+    ///
+    /// When more threads are ready than CPUs, a ready-but-descheduled
+    /// thread waits for spinners to exhaust their time slices; the
+    /// expected lag grows with the oversubscription factor (§5.1).
+    pub fn dispatch_delay(&self, demand: usize) -> u64 {
+        let cpus = self.logical_cpus();
+        if demand <= cpus {
+            return 0;
+        }
+        let excess = (demand - cpus) as f64 / cpus as f64;
+        // Half a quantum per unit of oversubscription, on average.
+        (excess * self.quantum_cycles as f64 / 2.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t5_has_128_cpus() {
+        let m = MachineConfig::t5_socket();
+        assert_eq!(m.logical_cpus(), 128);
+    }
+
+    #[test]
+    fn seconds_to_cycles_scale() {
+        assert_eq!(seconds_to_cycles(1.0), 3_600_000_000);
+        assert_eq!(seconds_to_cycles(0.001), 3_600_000);
+    }
+
+    #[test]
+    fn speed_full_when_one_thread_per_core() {
+        let m = MachineConfig::t5_socket();
+        assert!((m.working_speed(16, 0) - 1.0).abs() < 1e-9);
+        // A lone thread on a mostly-idle socket gets turbo on top.
+        assert!((m.working_speed(1, 0) - m.turbo_boost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turbo_requires_mostly_idle_socket() {
+        let m = MachineConfig::t5_socket();
+        assert!(m.working_speed(8, 0) > 1.0); // 0.5 load: turbo
+        assert!((m.working_speed(9, 0) - 1.0).abs() < 1e-9); // just past
+    }
+
+    #[test]
+    fn fusion_lost_between_one_and_two_per_core() {
+        let m = MachineConfig::t5_socket();
+        let s32 = m.working_speed(32, 0); // 2 per core
+        assert!((s32 - m.unfused_speed).abs() < 1e-9);
+        let s24 = m.working_speed(24, 0); // 1.5 per core: between
+        assert!(s24 < 1.0 && s24 > s32);
+    }
+
+    #[test]
+    fn pipelines_shared_beyond_two_per_core() {
+        let m = MachineConfig::t5_socket();
+        let s64 = m.working_speed(64, 0); // 4 per core
+        assert!((s64 - m.unfused_speed * 0.5).abs() < 1e-9);
+        assert!(m.working_speed(128, 0) < s64);
+    }
+
+    #[test]
+    fn polite_spinners_cost_less_than_workers() {
+        let m = MachineConfig::t5_socket();
+        let with_spinners = m.working_speed(16, 16);
+        let with_workers = m.working_speed(32, 0);
+        assert!(with_spinners > with_workers);
+        assert!(with_spinners < 1.0, "spinners still consume pipelines");
+    }
+
+    #[test]
+    fn oversubscription_multiplexes() {
+        let m = MachineConfig::t5_socket();
+        let s = m.working_speed(256, 0);
+        let expected_pipe = m.unfused_speed * 2.0 / 16.0; // 16 per core
+        assert!((s - expected_pipe * 0.5).abs() < 1e-9, "128/256 multiplex");
+        assert!(m.oversubscribed(129));
+        assert!(!m.oversubscribed(128));
+    }
+
+    #[test]
+    fn dispatch_delay_zero_until_oversubscribed() {
+        let m = MachineConfig::t5_socket();
+        assert_eq!(m.dispatch_delay(128), 0);
+        assert!(m.dispatch_delay(256) > 0);
+        assert!(m.dispatch_delay(256) >= m.quantum_cycles / 2);
+    }
+}

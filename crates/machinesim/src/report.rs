@@ -1,0 +1,104 @@
+//! Run reports: everything a figure harness needs from one run.
+
+use malthus_cachesim::{CacheStats, HierarchyStats};
+use malthus_metrics::{AdmissionLog, FairnessSummary};
+
+use crate::locks::SimLockStats;
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated measurement interval (seconds).
+    pub sim_seconds: f64,
+    /// Total completed iterations across all threads.
+    pub total_iterations: u64,
+    /// Iterations per thread (long-term fairness source data).
+    pub per_thread_iterations: Vec<u64>,
+    /// Admission history per lock.
+    pub admissions: Vec<Vec<u32>>,
+    /// CR activity per lock.
+    pub lock_stats: Vec<SimLockStats>,
+    /// Voluntary context switches (threads that parked).
+    pub voluntary_parks: u64,
+    /// Kernel unpark notifications issued.
+    pub unpark_calls: u64,
+    /// Time-averaged number of working (CS/NCS) threads.
+    pub avg_working: f64,
+    /// Time-averaged number of politely-spinning threads.
+    pub avg_spinning: f64,
+    /// Modeled power draw above idle.
+    pub watts_above_idle: f64,
+    /// Cache-hierarchy counters for the run.
+    pub hierarchy: HierarchyStats,
+    /// LLC counters including self/extrinsic classification.
+    pub llc: CacheStats,
+}
+
+impl RunReport {
+    /// Aggregate throughput in iterations per simulated second.
+    pub fn throughput(&self) -> f64 {
+        self.total_iterations as f64 / self.sim_seconds
+    }
+
+    /// Time-averaged on-CPU thread count (the paper's "CPU
+    /// utilization 32x" notation).
+    pub fn cpu_utilization(&self) -> f64 {
+        self.avg_working + self.avg_spinning
+    }
+
+    /// Fairness summary for lock `i` (LWSS, MTTR from the admission
+    /// history; Gini/RSTDDEV from per-thread iteration counts, as the
+    /// paper computes them over completed work).
+    pub fn fairness(&self, lock: usize) -> FairnessSummary {
+        let log = AdmissionLog::from_history(self.admissions[lock].clone());
+        let mut s = FairnessSummary::from_log(&log);
+        // Long-term indices over completed work, not admissions.
+        s.gini = malthus_metrics::gini_coefficient(&self.per_thread_iterations);
+        s.rstddev = malthus_metrics::relative_stddev(&self.per_thread_iterations);
+        s
+    }
+
+    /// LLC misses during the run (the paper's "L3 Misses" row).
+    pub fn llc_misses(&self) -> u64 {
+        self.llc.total_misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunReport {
+        RunReport {
+            sim_seconds: 2.0,
+            total_iterations: 1000,
+            per_thread_iterations: vec![500, 500],
+            admissions: vec![vec![0, 1, 0, 1]],
+            lock_stats: vec![SimLockStats::default()],
+            voluntary_parks: 3,
+            unpark_calls: 2,
+            avg_working: 1.5,
+            avg_spinning: 0.5,
+            watts_above_idle: 6.0,
+            hierarchy: HierarchyStats::default(),
+            llc: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_divides_by_interval() {
+        assert_eq!(dummy().throughput(), 500.0);
+    }
+
+    #[test]
+    fn utilization_sums_working_and_spinning() {
+        assert!((dummy().cpu_utilization() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_uses_iterations_for_gini() {
+        let f = dummy().fairness(0);
+        assert_eq!(f.admissions, 4);
+        assert!(f.gini < 1e-12, "equal work -> Gini 0");
+    }
+}

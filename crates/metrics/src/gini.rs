@@ -1,0 +1,109 @@
+//! Long-term fairness indices over per-thread work distributions.
+
+/// Gini coefficient of a work distribution (§6).
+///
+/// 0 means every thread completed identical work (ideally fair, as a
+/// FIFO lock produces); values approaching 1 mean a few threads did
+/// nearly all the work. Computed with the standard sorted formula
+/// `G = (2·Σ i·xᵢ)/(n·Σ xᵢ) − (n+1)/n` over ascending `xᵢ`, `i` from 1.
+///
+/// Returns 0 for empty or all-zero distributions.
+pub fn gini_coefficient(work: &[u64]) -> f64 {
+    if work.is_empty() {
+        return 0.0;
+    }
+    let total: u128 = work.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = work.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Relative standard deviation (coefficient of variation) of the work
+/// distribution: population standard deviation divided by the mean.
+///
+/// Returns 0 for empty or all-zero distributions.
+pub fn relative_stddev(work: &[u64]) -> f64 {
+    if work.is_empty() {
+        return 0.0;
+    }
+    let n = work.len() as f64;
+    let mean = work.iter().map(|&w| w as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = work
+        .iter()
+        .map(|&w| {
+            let d = w as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_equal_work_is_zero() {
+        assert!(gini_coefficient(&[5, 5, 5, 5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_monopoly_approaches_one() {
+        // One thread does everything among n = 10: G = (n-1)/n = 0.9.
+        let mut w = vec![0u64; 9];
+        w.push(1000);
+        let g = gini_coefficient(&w);
+        assert!((g - 0.9).abs() < 1e-12, "g = {g}");
+    }
+
+    #[test]
+    fn gini_empty_and_zero() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini_coefficient(&[1, 2, 3, 4]);
+        let b = gini_coefficient(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // [1, 3]: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        let g = gini_coefficient(&[1, 3]);
+        assert!((g - 0.25).abs() < 1e-12, "g = {g}");
+    }
+
+    #[test]
+    fn rstddev_equal_is_zero() {
+        assert!(relative_stddev(&[7, 7, 7]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rstddev_known_value() {
+        // [2, 4]: mean 3, pop stddev 1, cv = 1/3.
+        let r = relative_stddev(&[2, 4]);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn rstddev_empty_and_zero() {
+        assert_eq!(relative_stddev(&[]), 0.0);
+        assert_eq!(relative_stddev(&[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fairness and admission-order metrics from *Malthusian Locks*.
+//!
+//! The paper quantifies the throughput/fairness trade-off with four
+//! numbers (§1, §6):
+//!
+//! * **Average LWSS** — partition the admission history into disjoint
+//!   abutting windows of `W` acquisitions (the paper uses `W = 1000`),
+//!   compute the lock working-set size (number of distinct threads) of
+//!   each, and average. Short-term fairness in units of threads.
+//! * **MTTR** — median time to reacquire: for each admission, the
+//!   number of admissions since the same thread last acquired the
+//!   lock; the median is taken over the whole history. Analogous to
+//!   reuse distance in memory management.
+//! * **Gini coefficient** — income-disparity index over the per-thread
+//!   completed work; 0 is ideally fair, approaching 1 maximally unfair.
+//! * **RSTDDEV** — relative standard deviation (coefficient of
+//!   variation) of per-thread completed work.
+//!
+//! [`AdmissionLog`] wraps a recorded history and computes all of them.
+//!
+//! # Examples
+//!
+//! ```
+//! use malthus_metrics::AdmissionLog;
+//!
+//! // A, B, C, A, B, C, D, A, E — the example history from §1.
+//! let log = AdmissionLog::from_history(vec![0, 1, 2, 0, 1, 2, 3, 0, 4]);
+//! assert_eq!(log.lwss(0..6), 3); // LWSS of the first six admissions
+//! ```
+
+#![warn(missing_docs)]
+
+mod gini;
+mod log;
+mod summary;
+mod table;
+
+pub use gini::{gini_coefficient, relative_stddev};
+pub use log::{AdmissionLog, DEFAULT_LWSS_WINDOW};
+pub use summary::FairnessSummary;
+pub use table::{format_table, Align, Column};

@@ -1,0 +1,126 @@
+//! One-stop fairness summary matching the paper's Figure 4 rows.
+
+use crate::gini::{gini_coefficient, relative_stddev};
+use crate::log::{AdmissionLog, DEFAULT_LWSS_WINDOW};
+
+/// All fairness figures for one measurement interval.
+///
+/// # Examples
+///
+/// ```
+/// use malthus_metrics::{AdmissionLog, FairnessSummary};
+///
+/// let log = AdmissionLog::from_history(vec![0, 1, 0, 1, 0, 1]);
+/// let s = FairnessSummary::from_log(&log);
+/// assert_eq!(s.admissions, 6);
+/// assert_eq!(s.mttr, Some(2.0));
+/// assert!(s.gini < 1e-9); // both threads got equal work
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessSummary {
+    /// Total admissions in the interval.
+    pub admissions: usize,
+    /// Distinct participating threads.
+    pub threads: usize,
+    /// Average lock working-set size (1000-admission windows).
+    pub average_lwss: f64,
+    /// Median time to reacquire, in admissions.
+    pub mttr: Option<f64>,
+    /// Gini coefficient of per-thread work.
+    pub gini: f64,
+    /// Relative standard deviation of per-thread work.
+    pub rstddev: f64,
+}
+
+impl FairnessSummary {
+    /// Computes every metric from an admission log.
+    pub fn from_log(log: &AdmissionLog) -> Self {
+        Self::from_log_with_window(log, DEFAULT_LWSS_WINDOW)
+    }
+
+    /// As [`FairnessSummary::from_log`] with an explicit LWSS window.
+    pub fn from_log_with_window(log: &AdmissionLog, window: usize) -> Self {
+        let counts = log.per_thread_counts();
+        let work: Vec<u64> = counts.values().copied().collect();
+        FairnessSummary {
+            admissions: log.len(),
+            threads: counts.len(),
+            average_lwss: log.average_lwss(window),
+            mttr: log.median_time_to_reacquire(),
+            gini: gini_coefficient(&work),
+            rstddev: relative_stddev(&work),
+        }
+    }
+}
+
+impl std::fmt::Display for FairnessSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admissions={} threads={} avgLWSS={:.1} MTTR={} Gini={:.3} RSTDDEV={:.3}",
+            self.admissions,
+            self.threads,
+            self.average_lwss,
+            self.mttr
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            self.gini,
+            self.rstddev,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_robin_is_ideally_fair() {
+        // 32 threads round-robin, like MCS in the paper's Figure 4:
+        // LWSS = 32, MTTR = 32, Gini ~ 0, RSTDDEV ~ 0.
+        let n = 32u32;
+        let history: Vec<u32> = (0..32_000).map(|i| i % n).collect();
+        let s = FairnessSummary::from_log(&AdmissionLog::from_history(history));
+        assert_eq!(s.threads, 32);
+        assert!((s.average_lwss - 32.0).abs() < 1e-9);
+        assert_eq!(s.mttr, Some(32.0));
+        assert!(s.gini < 1e-9);
+        assert!(s.rstddev < 1e-9);
+    }
+
+    #[test]
+    fn cr_like_history_has_small_lwss_but_nonzero_gini() {
+        // 32 threads exist, but a 5-thread ACS does nearly all the
+        // circulating, like MCSCR in Figure 4.
+        let mut history = Vec::new();
+        for round in 0..1000u32 {
+            for t in 0..5u32 {
+                history.push(t);
+            }
+            // Rare fairness admission of a cold thread.
+            if round % 100 == 0 {
+                history.push(5 + (round / 100) % 27);
+            }
+        }
+        let s = FairnessSummary::from_log(&AdmissionLog::from_history(history));
+        assert!(s.average_lwss < 16.0, "LWSS should be small: {}", s.average_lwss);
+        assert_eq!(s.mttr, Some(5.0));
+        assert!(s.gini > 0.5, "unequal work must show in Gini: {}", s.gini);
+    }
+
+    #[test]
+    fn display_formats_reasonably() {
+        let s = FairnessSummary::from_log(&AdmissionLog::from_history(vec![0, 0, 1]));
+        let text = format!("{s}");
+        assert!(text.contains("admissions=3"));
+        assert!(text.contains("threads=2"));
+    }
+
+    #[test]
+    fn empty_log_summary() {
+        let s = FairnessSummary::from_log(&AdmissionLog::from_history(vec![]));
+        assert_eq!(s.admissions, 0);
+        assert_eq!(s.threads, 0);
+        assert_eq!(s.mttr, None);
+    }
+}

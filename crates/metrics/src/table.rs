@@ -1,0 +1,131 @@
+//! Plain-text table rendering for benchmark output.
+//!
+//! The figure/table harnesses print series the way the paper's tables
+//! read; this module holds the small shared formatter.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A table column: header plus alignment.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Header text.
+    pub header: String,
+    /// Cell alignment.
+    pub align: Align,
+}
+
+impl Column {
+    /// Left-aligned column.
+    pub fn left(header: impl Into<String>) -> Self {
+        Column {
+            header: header.into(),
+            align: Align::Left,
+        }
+    }
+
+    /// Right-aligned column.
+    pub fn right(header: impl Into<String>) -> Self {
+        Column {
+            header: header.into(),
+            align: Align::Right,
+        }
+    }
+}
+
+/// Renders rows as an aligned plain-text table with a header rule.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the column count.
+///
+/// # Examples
+///
+/// ```
+/// use malthus_metrics::{format_table, Column};
+///
+/// let t = format_table(
+///     &[Column::left("lock"), Column::right("ops/s")],
+///     &[vec!["MCS-S".into(), "700000".into()]],
+/// );
+/// assert!(t.contains("MCS-S"));
+/// ```
+pub fn format_table(columns: &[Column], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            columns.len(),
+            "row width must match column count"
+        );
+    }
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.header.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: Vec<&str>, out: &mut String| {
+        let mut first = true;
+        for ((cell, col), w) in cells.iter().zip(columns).zip(&widths) {
+            if !first {
+                out.push_str("  ");
+            }
+            first = false;
+            match col.align {
+                Align::Left => out.push_str(&format!("{cell:<w$}")),
+                Align::Right => out.push_str(&format!("{cell:>w$}")),
+            }
+        }
+        out.push('\n');
+    };
+    render(columns.iter().map(|c| c.header.as_str()).collect(), &mut out);
+    let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        render(row.iter().map(|s| s.as_str()).collect(), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = format_table(
+            &[Column::left("name"), Column::right("n")],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "100".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines[0].len() >= "name".len() + 2 + 1);
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[2].ends_with("  1") || lines[2].ends_with("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match column count")]
+    fn mismatched_row_panics() {
+        format_table(&[Column::left("a")], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn empty_rows_renders_header_only() {
+        let t = format_table(&[Column::left("h")], &[]);
+        assert!(t.contains('h'));
+        assert_eq!(t.lines().count(), 2);
+    }
+}

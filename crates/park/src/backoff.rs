@@ -1,0 +1,115 @@
+//! Randomized-exponential backoff for global spinning.
+//!
+//! TAS-style locks where every waiter polls a single location need
+//! randomized backoff to damp coherence storms and thundering herds
+//! (paper, appendix A.1). Queue locks with local spinning do not.
+
+use crate::rng::XorShift64;
+use crate::spin::polite_spin;
+
+/// Randomized truncated-exponential backoff.
+///
+/// Each failed acquisition attempt doubles the backoff ceiling up to
+/// `max`; the actual pause is drawn uniformly from `[1, ceiling]`,
+/// decorrelating waiters.
+#[derive(Debug)]
+pub struct Backoff {
+    ceiling: u32,
+    min: u32,
+    max: u32,
+    rng: XorShift64,
+}
+
+impl Backoff {
+    /// Creates a backoff helper with the given bounds (in pause
+    /// iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or `min > max`.
+    pub fn new(min: u32, max: u32, seed: u64) -> Self {
+        assert!(min > 0, "minimum backoff must be positive");
+        assert!(min <= max, "minimum backoff must not exceed maximum");
+        Backoff {
+            ceiling: min,
+            min,
+            max,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    /// Creates a backoff helper with defaults suitable for a contended
+    /// TAS outer lock (paper's LOITER arrival phase).
+    pub fn for_tas(seed: u64) -> Self {
+        Self::new(16, 4096, seed)
+    }
+
+    /// Pauses for a randomized interval and escalates the ceiling;
+    /// returns the number of pause iterations executed.
+    pub fn pause(&mut self) -> u32 {
+        let span = self.rng.next_below(self.ceiling as u64) as u32 + 1;
+        polite_spin(span);
+        self.ceiling = (self.ceiling.saturating_mul(2)).min(self.max);
+        span
+    }
+
+    /// Resets the ceiling after a successful acquisition.
+    pub fn reset(&mut self) {
+        self.ceiling = self.min;
+    }
+
+    /// Current ceiling in pause iterations (for tests/diagnostics).
+    pub fn ceiling(&self) -> u32 {
+        self.ceiling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_doubles_and_saturates() {
+        let mut b = Backoff::new(4, 16, 1);
+        assert_eq!(b.ceiling(), 4);
+        b.pause();
+        assert_eq!(b.ceiling(), 8);
+        b.pause();
+        assert_eq!(b.ceiling(), 16);
+        b.pause();
+        assert_eq!(b.ceiling(), 16);
+    }
+
+    #[test]
+    fn pause_span_within_ceiling() {
+        let mut b = Backoff::new(8, 64, 77);
+        for _ in 0..50 {
+            let before = b.ceiling();
+            let span = b.pause();
+            assert!(span >= 1 && span <= before, "span {span} ceiling {before}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_minimum() {
+        let mut b = Backoff::new(2, 1024, 3);
+        for _ in 0..6 {
+            b.pause();
+        }
+        assert!(b.ceiling() > 2);
+        b.reset();
+        assert_eq!(b.ceiling(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum backoff must be positive")]
+    fn zero_min_panics() {
+        Backoff::new(0, 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum backoff must not exceed maximum")]
+    fn inverted_bounds_panic() {
+        Backoff::new(16, 8, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Marsaglia xorshift pseudo-random number generator.
+//!
+//! The paper (§4) uses a thread-local Marsaglia xorshift generator to
+//! drive the Bernoulli fairness trials in the MCSCR unlock path; the
+//! generator must be cheap enough to sit on the unlock fast path. This
+//! is the 64-bit three-shift variant from Marsaglia, *Xorshift RNGs*
+//! (JSS 2003).
+
+use std::cell::Cell;
+
+/// A 64-bit xorshift generator (shifts 13, 7, 17).
+///
+/// Not cryptographically secure; period `2^64 - 1`. The zero state is
+/// forbidden and is mapped to a fixed non-zero seed.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: Cell<u64>,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed` (zero is remapped).
+    ///
+    /// The seed is pre-scrambled with a SplitMix64 step: raw xorshift
+    /// state mixes slowly, so small literal seeds (1, 7, 42, ...)
+    /// would otherwise produce small first outputs and bias early
+    /// Bernoulli trials.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if z == 0 {
+            z = 0x9E37_79B9_7F4A_7C15;
+        }
+        XorShift64 {
+            state: Cell::new(z),
+        }
+    }
+
+    /// Creates a generator seeded from the current thread and time.
+    pub fn from_entropy() -> Self {
+        let addr = &() as *const () as u64;
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5DEE_CE66);
+        Self::new(addr.rotate_left(32) ^ t ^ 0xA076_1D64_78BD_642F)
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&self) -> u64 {
+        let mut x = self.state.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state.set(x);
+        x
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift mapping (Lemire); bias is negligible for the
+        // bounds used in fairness trials (<= a few thousand).
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Performs a Bernoulli trial that succeeds with probability
+    /// `1/denominator`.
+    ///
+    /// This is the paper's fairness trigger: with `denominator = 1000`,
+    /// roughly one unlock in a thousand promotes the eldest passive
+    /// thread (§4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    pub fn one_in(&self, denominator: u64) -> bool {
+        self.next_below(denominator) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn sequence_is_deterministic_for_seed() {
+        let a = XorShift64::new(42);
+        let b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let r = XorShift64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn one_in_frequency_is_plausible() {
+        let r = XorShift64::new(1234);
+        let trials = 2_000_000u64;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            if r.one_in(1000) {
+                hits += 1;
+            }
+        }
+        // Expected 2000; allow generous slop (5 sigma ~ 225).
+        assert!((1500..2500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn one_in_one_always_true() {
+        let r = XorShift64::new(5);
+        for _ in 0..100 {
+            assert!(r.one_in(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        XorShift64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn values_look_uniform_across_buckets() {
+        let r = XorShift64::new(99);
+        let mut buckets = [0u32; 16];
+        for _ in 0..160_000 {
+            buckets[(r.next_u64() >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((8000..12000).contains(&b), "bucket count {b}");
+        }
+    }
+}

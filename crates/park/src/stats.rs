@@ -1,0 +1,132 @@
+//! Global counters for waiting-policy behaviour.
+//!
+//! The paper's Figure 4 reports *voluntary context switches* per run;
+//! these counters let the live benchmark harness report the same row.
+//! All counters are monotonically increasing relaxed atomics; use
+//! [`snapshot`] before and after a measurement interval and subtract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static VOLUNTARY_PARKS: AtomicU64 = AtomicU64::new(0);
+static PARK_FAST_PATHS: AtomicU64 = AtomicU64::new(0);
+static UNPARK_NOTIFIES: AtomicU64 = AtomicU64::new(0);
+static UNPARK_FAST_PATHS: AtomicU64 = AtomicU64::new(0);
+static SPIN_SUCCESSES: AtomicU64 = AtomicU64::new(0);
+static SPIN_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of all waiting counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `park` calls that actually blocked in the "kernel" (condvar).
+    pub voluntary_parks: u64,
+    /// `park` calls satisfied by a pending permit without blocking.
+    pub park_fast_paths: u64,
+    /// `unpark` calls that had to notify a blocked thread.
+    pub unpark_notifies: u64,
+    /// `unpark` calls that merely recorded a permit.
+    pub unpark_fast_paths: u64,
+    /// Spin-then-park waits satisfied during the spin phase.
+    pub spin_successes: u64,
+    /// Spin-then-park waits that exhausted the spin budget and parked.
+    pub spin_failures: u64,
+}
+
+impl Snapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            voluntary_parks: self.voluntary_parks.saturating_sub(earlier.voluntary_parks),
+            park_fast_paths: self.park_fast_paths.saturating_sub(earlier.park_fast_paths),
+            unpark_notifies: self.unpark_notifies.saturating_sub(earlier.unpark_notifies),
+            unpark_fast_paths: self
+                .unpark_fast_paths
+                .saturating_sub(earlier.unpark_fast_paths),
+            spin_successes: self.spin_successes.saturating_sub(earlier.spin_successes),
+            spin_failures: self.spin_failures.saturating_sub(earlier.spin_failures),
+        }
+    }
+
+    /// Total voluntary context switches (blocked parks).
+    pub fn voluntary_context_switches(&self) -> u64 {
+        self.voluntary_parks
+    }
+}
+
+/// Returns a copy of the current counter values.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        voluntary_parks: VOLUNTARY_PARKS.load(Ordering::Relaxed),
+        park_fast_paths: PARK_FAST_PATHS.load(Ordering::Relaxed),
+        unpark_notifies: UNPARK_NOTIFIES.load(Ordering::Relaxed),
+        unpark_fast_paths: UNPARK_FAST_PATHS.load(Ordering::Relaxed),
+        spin_successes: SPIN_SUCCESSES.load(Ordering::Relaxed),
+        spin_failures: SPIN_FAILURES.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_voluntary_park() {
+    VOLUNTARY_PARKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_park_fast_path() {
+    PARK_FAST_PATHS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_unpark_notify() {
+    UNPARK_NOTIFIES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_unpark_fast_path() {
+    UNPARK_FAST_PATHS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_spin_success() {
+    SPIN_SUCCESSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_spin_failure() {
+    SPIN_FAILURES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let a = Snapshot {
+            voluntary_parks: 10,
+            park_fast_paths: 5,
+            unpark_notifies: 3,
+            unpark_fast_paths: 2,
+            spin_successes: 1,
+            spin_failures: 9,
+        };
+        let b = Snapshot {
+            voluntary_parks: 4,
+            park_fast_paths: 5,
+            unpark_notifies: 1,
+            unpark_fast_paths: 0,
+            spin_successes: 0,
+            spin_failures: 9,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.voluntary_parks, 6);
+        assert_eq!(d.park_fast_paths, 0);
+        assert_eq!(d.unpark_notifies, 2);
+        assert_eq!(d.unpark_fast_paths, 2);
+        assert_eq!(d.spin_successes, 1);
+        assert_eq!(d.spin_failures, 0);
+        assert_eq!(d.voluntary_context_switches(), 6);
+    }
+
+    #[test]
+    fn counters_increase_monotonically() {
+        let before = snapshot();
+        record_voluntary_park();
+        record_spin_success();
+        let after = snapshot();
+        assert!(after.voluntary_parks > before.voluntary_parks);
+        assert!(after.spin_successes > before.spin_successes);
+    }
+}

@@ -1,0 +1,193 @@
+//! An in-memory hashed cache database (the Figure 9 substrate).
+//!
+//! §6.6 drives Kyoto Cabinet's `kccachetest` against its in-memory
+//! `CacheDB` — a hash table of records whose "performance ... is known
+//! to be sensitive to the choice of lock algorithm". `KcCacheDb`
+//! reproduces the structure: an open-addressed record table with a
+//! bounded record count and FIFO-ish eviction, meant to live behind a
+//! single process-wide mutex exactly like the benchmark configuration
+//! (the paper modified kccachetest to use plain POSIX mutexes).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Operation mix statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KcStats {
+    /// set() calls.
+    pub sets: u64,
+    /// get() calls that found the record.
+    pub get_hits: u64,
+    /// get() calls that missed.
+    pub get_misses: u64,
+    /// remove() calls that deleted something.
+    pub removes: u64,
+    /// Records evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+/// An in-memory cache database with a record-count bound.
+///
+/// Values are fixed-size small payloads (like kccachetest's records);
+/// the structure is unsynchronized and is wrapped in one central
+/// mutex by the benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use malthus_storage::KcCacheDb;
+///
+/// let mut db = KcCacheDb::new(100);
+/// db.set(7, [7u8; 16]);
+/// assert_eq!(db.get(7), Some([7u8; 16]));
+/// assert!(db.remove(7));
+/// assert_eq!(db.get(7), None);
+/// ```
+#[derive(Debug)]
+pub struct KcCacheDb {
+    records: HashMap<u64, [u8; 16]>,
+    /// Insertion order for capacity eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+    stats: KcStats,
+}
+
+impl KcCacheDb {
+    /// Creates a database bounded at `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity database");
+        KcCacheDb {
+            records: HashMap::with_capacity(capacity.min(1 << 20)),
+            order: VecDeque::new(),
+            capacity,
+            stats: KcStats::default(),
+        }
+    }
+
+    /// Inserts or replaces a record, evicting the oldest insertion if
+    /// the bound is hit.
+    pub fn set(&mut self, key: u64, value: [u8; 16]) {
+        self.stats.sets += 1;
+        if self.records.insert(key, value).is_none() {
+            self.order.push_back(key);
+            if self.records.len() > self.capacity {
+                // Evict in insertion order, skipping stale entries of
+                // keys that were removed.
+                while let Some(victim) = self.order.pop_front() {
+                    if self.records.remove(&victim).is_some() {
+                        self.stats.evictions += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetches a record.
+    pub fn get(&mut self, key: u64) -> Option<[u8; 16]> {
+        match self.records.get(&key) {
+            Some(v) => {
+                self.stats.get_hits += 1;
+                Some(*v)
+            }
+            None => {
+                self.stats.get_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Deletes a record; returns whether it existed.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let existed = self.records.remove(&key).is_some();
+        if existed {
+            self.stats.removes += 1;
+        }
+        existed
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> KcStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut db = KcCacheDb::new(10);
+        db.set(1, [1; 16]);
+        assert_eq!(db.get(1), Some([1; 16]));
+        assert!(db.remove(1));
+        assert!(!db.remove(1));
+        assert_eq!(db.get(1), None);
+        let s = db.stats();
+        assert_eq!(s.sets, 1);
+        assert_eq!(s.get_hits, 1);
+        assert_eq!(s.get_misses, 1);
+        assert_eq!(s.removes, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut db = KcCacheDb::new(3);
+        for k in 0..5u64 {
+            db.set(k, [k as u8; 16]);
+        }
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.get(0), None, "oldest must be evicted");
+        assert!(db.get(4).is_some());
+        assert_eq!(db.stats().evictions, 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut db = KcCacheDb::new(2);
+        db.set(1, [1; 16]);
+        db.set(1, [2; 16]);
+        db.set(1, [3; 16]);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(1), Some([3; 16]));
+        assert_eq!(db.stats().evictions, 0);
+    }
+
+    #[test]
+    fn eviction_skips_removed_keys() {
+        let mut db = KcCacheDb::new(2);
+        db.set(1, [1; 16]);
+        db.set(2, [2; 16]);
+        db.remove(1);
+        db.set(3, [3; 16]); // no eviction needed: len is 2
+        assert_eq!(db.len(), 2);
+        db.set(4, [4; 16]); // evicts 2 (1's order entry is stale)
+        assert_eq!(db.get(2), None);
+        assert!(db.get(3).is_some() && db.get(4).is_some());
+    }
+
+    #[test]
+    fn ten_million_key_range_smoke() {
+        // The paper fixes the key range at 10 M; a bounded DB over a
+        // wide range must keep len at capacity.
+        let mut db = KcCacheDb::new(1000);
+        for i in 0..10_000u64 {
+            db.set((i * 997) % 10_000_000, [0; 16]);
+        }
+        assert_eq!(db.len(), 1000);
+    }
+}

@@ -1,0 +1,33 @@
+//! Storage substrates backing the paper's application benchmarks.
+//!
+//! The paper evaluates CR on real lock-hungry software we cannot ship:
+//! the Solaris libc splay-tree allocator (mmicro, Figure 7), leveldb
+//! (Figure 8), Kyoto Cabinet (Figure 9), CEPH's `SimpleLRU`
+//! (Figure 12), a COZ-style bounded queue (Figure 10), and a blocking
+//! buffer pool (Figure 14). This crate implements functional
+//! equivalents from scratch so those workloads run as real code:
+//!
+//! | Type | Stands in for | Used by |
+//! |---|---|---|
+//! | [`SplayArena`] | Solaris libc malloc (splay tree + one mutex) | mmicro |
+//! | [`MiniKv`] | leveldb 1.18 (memtable + block-cache) | readwhilewriting |
+//! | [`KcCacheDb`] | Kyoto Cabinet `CacheDB` | kccachetest |
+//! | [`SimpleLru`] | CEPH `SimpleLRU` | LRUCache |
+//! | [`BoundedQueue`] | COZ `producer_consumer` queue | prodcons |
+//! | [`BufferPool`] | the §6.11 blocking buffer pool | bufferpool |
+
+#![warn(missing_docs)]
+
+mod bounded_queue;
+mod buffer_pool;
+mod kccache;
+mod minikv;
+mod simplelru;
+mod splay;
+
+pub use bounded_queue::BoundedQueue;
+pub use buffer_pool::{BufferPool, PoolBuffer, SemBufferPool};
+pub use kccache::KcCacheDb;
+pub use minikv::MiniKv;
+pub use simplelru::SimpleLru;
+pub use splay::SplayArena;

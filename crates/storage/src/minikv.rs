@@ -1,0 +1,190 @@
+//! A leveldb-shaped key-value store (the Figure 8 substrate).
+//!
+//! §6.5 runs leveldb 1.18's `readwhilewriting` benchmark and notes
+//! that "both the central database lock and internal LRUCache locks
+//! are highly contended". MiniKv reproduces that *locking structure*:
+//! a write-ahead memtable behind one central mutex-protected state
+//! plus a block cache ([`SimpleLru`]) behind its own lock. Compaction
+//! is modeled by freezing the memtable into sorted immutable runs.
+//!
+//! Like leveldb, reads consult the memtable, then the frozen runs via
+//! the block cache.
+
+use std::collections::BTreeMap;
+
+use crate::simplelru::SimpleLru;
+
+/// A tiny LSM-style store: memtable + immutable sorted runs + block
+/// cache.
+///
+/// Not internally synchronized: the benchmark wraps the *database*
+/// (memtable + runs) in one mutex and the block cache in another,
+/// matching the two contended locks of §6.5.
+#[derive(Debug)]
+pub struct MiniKv {
+    memtable: BTreeMap<u64, u64>,
+    /// Immutable runs, newest first. Each run is sorted.
+    runs: Vec<Vec<(u64, u64)>>,
+    memtable_limit: usize,
+    writes: u64,
+    reads: u64,
+}
+
+impl MiniKv {
+    /// Creates a store that freezes its memtable at `memtable_limit`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memtable_limit` is zero.
+    pub fn new(memtable_limit: usize) -> Self {
+        assert!(memtable_limit > 0, "memtable must hold something");
+        MiniKv {
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            memtable_limit,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Inserts or updates a key; may freeze the memtable into a run.
+    pub fn put(&mut self, key: u64, value: u64) {
+        self.writes += 1;
+        self.memtable.insert(key, value);
+        if self.memtable.len() >= self.memtable_limit {
+            let run: Vec<(u64, u64)> = std::mem::take(&mut self.memtable).into_iter().collect();
+            self.runs.insert(0, run);
+            // Background compaction stand-in: bound the run count by
+            // merging the two oldest runs.
+            if self.runs.len() > 4 {
+                let old = self.runs.pop().expect("len > 4");
+                let older = self.runs.pop().expect("len > 3");
+                let mut merged: BTreeMap<u64, u64> = older.into_iter().collect();
+                // `old` is newer than `older`: its values win.
+                for (k, v) in old {
+                    merged.insert(k, v);
+                }
+                self.runs.push(merged.into_iter().collect());
+            }
+        }
+    }
+
+    /// Point lookup through memtable then runs; `cache` is consulted
+    /// per run block touched (modeling block-cache traffic).
+    pub fn get(&mut self, key: u64, cache: &mut SimpleLru, thread: u32) -> Option<u64> {
+        self.reads += 1;
+        if let Some(&v) = self.memtable.get(&key) {
+            return Some(v);
+        }
+        for (run_idx, run) in self.runs.iter().enumerate() {
+            // One cache lookup per run consulted: block id = run plus
+            // the key's block within the run.
+            let block = (run_idx as u32) << 24 | ((key as u32) & 0x00FF_FFFF) / 64;
+            cache.lookup_or_insert(block, thread);
+            if let Ok(pos) = run.binary_search_by_key(&key, |&(k, _)| k) {
+                return Some(run[pos].1);
+            }
+        }
+        None
+    }
+
+    /// Total keys resident (memtable + runs, with duplicates).
+    pub fn len_estimate(&self) -> usize {
+        self.memtable.len() + self.runs.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Writes accepted.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of frozen runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SimpleLru {
+        SimpleLru::new(1024)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut kv = MiniKv::new(100);
+        let mut c = cache();
+        kv.put(1, 10);
+        kv.put(2, 20);
+        assert_eq!(kv.get(1, &mut c, 0), Some(10));
+        assert_eq!(kv.get(2, &mut c, 0), Some(20));
+        assert_eq!(kv.get(3, &mut c, 0), None);
+    }
+
+    #[test]
+    fn update_wins() {
+        let mut kv = MiniKv::new(100);
+        let mut c = cache();
+        kv.put(1, 10);
+        kv.put(1, 11);
+        assert_eq!(kv.get(1, &mut c, 0), Some(11));
+    }
+
+    #[test]
+    fn memtable_freezes_into_runs() {
+        let mut kv = MiniKv::new(10);
+        let mut c = cache();
+        for k in 0..25 {
+            kv.put(k, k * 2);
+        }
+        assert!(kv.run_count() >= 2, "freezes expected");
+        // All keys still readable after freezing.
+        for k in 0..25 {
+            assert_eq!(kv.get(k, &mut c, 0), Some(k * 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn newer_runs_shadow_older() {
+        let mut kv = MiniKv::new(4);
+        let mut c = cache();
+        for round in 0..6u64 {
+            for k in 0..4u64 {
+                kv.put(k, round * 100 + k);
+            }
+        }
+        for k in 0..4u64 {
+            assert_eq!(kv.get(k, &mut c, 0), Some(500 + k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let mut kv = MiniKv::new(4);
+        for k in 0..400u64 {
+            kv.put(k, k);
+        }
+        assert!(kv.run_count() <= 5, "runs: {}", kv.run_count());
+    }
+
+    #[test]
+    fn reads_touch_block_cache() {
+        let mut kv = MiniKv::new(4);
+        let mut c = cache();
+        for k in 0..16u64 {
+            kv.put(k, k);
+        }
+        let before = c.stats().hits + c.stats().misses;
+        kv.get(0, &mut c, 0);
+        let after = c.stats().hits + c.stats().misses;
+        assert!(after > before, "run reads must hit the block cache");
+    }
+}

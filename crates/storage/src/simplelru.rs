@@ -1,0 +1,223 @@
+//! A port of CEPH's `SimpleLRU` (the Figure 12 software cache).
+//!
+//! §6.9: an ordered map (CEPH uses a red-black `std::map`; we use the
+//! standard library's `BTreeMap`) plus an LRU list; recently accessed
+//! elements move to the front and excess elements are trimmed from the
+//! tail. On a miss the key itself is installed as the value. The
+//! interesting behaviour for the paper is *software-cache thrashing*:
+//! with many threads circulating, each thread's keyset evicts the
+//! others' — the LRU cache behaves like a small perfectly-associative
+//! shared hardware cache.
+
+use std::collections::BTreeMap;
+
+/// Hit/miss and displacement counters.
+///
+/// §6.9 footnote: "In LRUCache it is trivial to collect displacement
+/// statistics and discern self-displacement of cache elements versus
+/// displacement caused by other threads, which reflects destructive
+/// interference."
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that installed the key.
+    pub misses: u64,
+    /// Evictions where the evicted entry was installed by the same
+    /// thread now inserting.
+    pub self_displacements: u64,
+    /// Evictions caused by a different thread (interference).
+    pub cross_displacements: u64,
+}
+
+impl LruStats {
+    /// Miss ratio in `[0, 1]`; 0 for no lookups.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: u32,
+    /// Monotonic recency stamp (larger = more recent).
+    stamp: u64,
+    /// Which thread installed this entry.
+    installer: u32,
+}
+
+/// A capacity-bounded LRU map from `u32` keys to `u32` values.
+///
+/// Like the original, this structure is not internally synchronized;
+/// the benchmark wraps it in a single mutex — that lock is the
+/// experiment.
+///
+/// # Examples
+///
+/// ```
+/// use malthus_storage::SimpleLru;
+///
+/// let mut lru = SimpleLru::new(2);
+/// lru.lookup_or_insert(1, 0);
+/// lru.lookup_or_insert(2, 0);
+/// lru.lookup_or_insert(3, 0); // evicts key 1 (LRU)
+/// assert!(!lru.contains(1));
+/// assert!(lru.contains(2) && lru.contains(3));
+/// ```
+#[derive(Debug)]
+pub struct SimpleLru {
+    map: BTreeMap<u32, Entry>,
+    /// stamp -> key, the recency order (BTreeMap as ordered list).
+    order: BTreeMap<u64, u32>,
+    capacity: usize,
+    clock: u64,
+    stats: LruStats,
+}
+
+impl SimpleLru {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity cache");
+        SimpleLru {
+            map: BTreeMap::new(),
+            order: BTreeMap::new(),
+            capacity,
+            clock: 0,
+            stats: LruStats::default(),
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is resident (does not touch recency).
+    pub fn contains(&self, key: u32) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LruStats {
+        self.stats
+    }
+
+    /// Looks `key` up on behalf of `thread`; on a miss, installs the
+    /// key as its own value (the paper's miss policy) and trims the
+    /// tail. Returns the value.
+    pub fn lookup_or_insert(&mut self, key: u32, thread: u32) -> u32 {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.map.get_mut(&key) {
+            self.stats.hits += 1;
+            // Move to the front of the recency order.
+            let old = e.stamp;
+            e.stamp = clock;
+            let v = e.value;
+            self.order.remove(&old);
+            self.order.insert(clock, key);
+            return v;
+        }
+        self.stats.misses += 1;
+        if self.map.len() == self.capacity {
+            // Trim the LRU tail (smallest stamp).
+            let (&oldest, &victim_key) = self.order.iter().next().expect("cache full");
+            let victim = self.map.remove(&victim_key).expect("consistent");
+            self.order.remove(&oldest);
+            if victim.installer == thread {
+                self.stats.self_displacements += 1;
+            } else {
+                self.stats.cross_displacements += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value: key,
+                stamp: clock,
+                installer: thread,
+            },
+        );
+        self.order.insert(clock, key);
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_value_and_refreshes() {
+        let mut c = SimpleLru::new(2);
+        c.lookup_or_insert(10, 0);
+        c.lookup_or_insert(20, 0);
+        // Touch 10 so 20 becomes LRU.
+        assert_eq!(c.lookup_or_insert(10, 0), 10);
+        c.lookup_or_insert(30, 0);
+        assert!(c.contains(10));
+        assert!(!c.contains(20));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut c = SimpleLru::new(5);
+        for k in 0..100 {
+            c.lookup_or_insert(k, 0);
+        }
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn displacement_attribution() {
+        let mut c = SimpleLru::new(1);
+        c.lookup_or_insert(1, 7); // installed by thread 7
+        c.lookup_or_insert(2, 7); // evicts own entry
+        assert_eq!(c.stats().self_displacements, 1);
+        c.lookup_or_insert(3, 9); // thread 9 evicts thread 7's entry
+        assert_eq!(c.stats().cross_displacements, 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = SimpleLru::new(4);
+        c.lookup_or_insert(1, 0);
+        c.lookup_or_insert(1, 0);
+        c.lookup_or_insert(2, 0);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = SimpleLru::new(10);
+        for _ in 0..5 {
+            for k in 0..10 {
+                c.lookup_or_insert(k, 0);
+            }
+        }
+        assert_eq!(c.stats().misses, 10);
+        assert_eq!(c.stats().hits, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity cache")]
+    fn zero_capacity_panics() {
+        SimpleLru::new(0);
+    }
+}

@@ -1,0 +1,12 @@
+use malthus_workloads::{prodcons, LockChoice};
+fn main() {
+    for p in [8usize, 16, 32, 48, 96] {
+        let fifo = prodcons::sim(p, LockChoice::McsS).run(0.01);
+        let cr = prodcons::sim(p, LockChoice::McsCrStp).run(0.01);
+        let fm = prodcons::messages(&fifo, p);
+        let cm = prodcons::messages(&cr, p);
+        println!("producers={p:3}  FIFO={fm:7} ({:.2} acq/msg)  CR={cm:7} ({:.2} acq/msg)",
+            fifo.admissions[0].len() as f64 / fm.max(1) as f64,
+            cr.admissions[0].len() as f64 / cm.max(1) as f64);
+    }
+}

@@ -1,0 +1,191 @@
+//! Buffer Pool (§6.11, Figure 14): the append-probability sweep.
+//!
+//! A central blocking pool of five 1 MB buffers: mutex + `NotEmpty`
+//! condvar + deque, LIFO allocation. Threads loop: take a buffer
+//! (waiting if none); exchange 500 random locations between it and a
+//! private buffer; return it; update 5000 random private locations.
+//! The experiment sweeps the condvar's append probability P: P = 1 is
+//! strict FIFO, P = 0 strict LIFO; mostly-prepend (P = 1/1000)
+//! recovers nearly all of LIFO's throughput while preserving long-term
+//! fairness. Fewer circulating threads ⇒ fewer distinct buffers ⇒
+//! lower LLC pressure.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use malthus_machinesim::{
+    layout, Action, CvSpec, MachineConfig, MemPattern, SimWorkload, Simulation, WaitMode,
+    WorkloadCtx,
+};
+
+use crate::choice::LockChoice;
+
+/// Buffers in the pool.
+pub const POOL_BUFFERS: usize = 5;
+/// Buffer size.
+pub const BUFFER_BYTES: u64 = 1 << 20;
+/// Random exchanges with the pool buffer per iteration. The paper's
+/// 500 exchanges + 5000 updates make each iteration ~2 M simulated
+/// cycles; counts scale down 5x (footprints unchanged) so the
+/// simulated interval covers enough iterations.
+pub const EXCHANGE: u32 = 100;
+/// Random private updates per iteration.
+pub const PRIVATE_UPDATES: u32 = 1000;
+
+/// The shared stack of available buffer ids.
+type SharedPool = Arc<StdMutex<Vec<usize>>>;
+
+/// The per-thread buffer-pool program.
+pub struct PoolThread {
+    step: u8,
+    pool: SharedPool,
+    held: Option<usize>,
+}
+
+impl SimWorkload for PoolThread {
+    fn next_action(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action {
+        match self.step {
+            0 => {
+                self.step = 1;
+                Action::Acquire(0)
+            }
+            1 => {
+                // LIFO allocation from the stack; wait when drained.
+                let popped = self.pool.lock().expect("single-threaded").pop();
+                match popped {
+                    None => Action::CondWait { cv: 0, lock: 0 },
+                    Some(id) => {
+                        self.held = Some(id);
+                        self.step = 2;
+                        Action::Compute(150)
+                    }
+                }
+            }
+            2 => {
+                self.step = 3;
+                Action::Release(0)
+            }
+            3 => {
+                // Exchange 500 random locations with the held buffer.
+                let id = self.held.expect("held since state 1");
+                self.step = 4;
+                Action::Access(MemPattern::RandomIn {
+                    base: layout::SHARED_BASE + (id as u64) * (BUFFER_BYTES * 2),
+                    bytes: BUFFER_BYTES,
+                    count: EXCHANGE,
+                })
+            }
+            4 => {
+                // ... and the matching private halves.
+                self.step = 5;
+                Action::Access(MemPattern::RandomIn {
+                    base: layout::private_base(ctx.tid),
+                    bytes: BUFFER_BYTES,
+                    count: EXCHANGE,
+                })
+            }
+            5 => {
+                self.step = 6;
+                Action::Acquire(0)
+            }
+            6 => {
+                let id = self.held.take().expect("returning held buffer");
+                self.pool.lock().expect("single-threaded").push(id);
+                self.step = 7;
+                Action::Compute(100)
+            }
+            7 => {
+                self.step = 8;
+                Action::Release(0)
+            }
+            8 => {
+                self.step = 9;
+                Action::CondNotifyOne(0)
+            }
+            9 => {
+                // NCS: 5000 random private updates.
+                self.step = 10;
+                Action::Access(MemPattern::RandomIn {
+                    base: layout::private_base(ctx.tid),
+                    bytes: BUFFER_BYTES,
+                    count: PRIVATE_UPDATES,
+                })
+            }
+            _ => {
+                self.step = 0;
+                Action::EndIteration
+            }
+        }
+    }
+}
+
+/// Builds the Figure 14 simulation with the given condvar *prepend*
+/// probability (the paper sweeps append probability `P = 1 -
+/// prepend`). The mutex is a classic MCS (the paper's setup); waiting
+/// is unbounded spinning as in §6.11.
+pub fn sim_with_prepend(threads: usize, prepend_probability: f64) -> Simulation {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(LockChoice::McsS.spec(0xF16_14));
+    sim.add_condvar(CvSpec {
+        prepend_probability,
+        seed: 0x14,
+        wait: WaitMode::Spin,
+    });
+    let pool: SharedPool = Arc::new(StdMutex::new((0..POOL_BUFFERS).collect()));
+    for _ in 0..threads {
+        sim.add_thread(Box::new(PoolThread {
+            step: 0,
+            pool: Arc::clone(&pool),
+            held: None,
+        }));
+    }
+    sim
+}
+
+/// The paper's swept append probabilities (Figure 14 legend).
+pub const APPEND_PROBABILITIES: [(f64, &str); 9] = [
+    (1.0, "Append=1/1"),
+    (0.1, "Append=1/10"),
+    (0.02, "Append=1/50"),
+    (0.01, "Append=1/100"),
+    (0.005, "Append=1/200"),
+    (0.002, "Append=1/500"),
+    (0.001, "Append=1/1000"),
+    (0.0005, "Append=1/2000"),
+    (0.0, "Append=0"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_conserved() {
+        let s = sim_with_prepend(12, 0.999);
+        let r = s.run(0.01);
+        assert!(r.total_iterations > 50, "pool must circulate");
+    }
+
+    #[test]
+    fn lifo_beats_fifo_at_high_thread_counts() {
+        let fifo = sim_with_prepend(48, 0.0).run(0.015); // always append
+        let lifo = sim_with_prepend(48, 1.0).run(0.015); // always prepend
+        assert!(
+            lifo.total_iterations > fifo.total_iterations,
+            "Figure 14: LIFO must beat FIFO: {} vs {}",
+            lifo.total_iterations,
+            fifo.total_iterations
+        );
+    }
+
+    #[test]
+    fn mostly_prepend_recovers_most_of_lifo() {
+        let lifo = sim_with_prepend(48, 1.0).run(0.015);
+        let mostly = sim_with_prepend(48, 0.999).run(0.015);
+        assert!(
+            mostly.total_iterations as f64 > lifo.total_iterations as f64 * 0.75,
+            "1/1000 append should keep most of LIFO's throughput: {} vs {}",
+            mostly.total_iterations,
+            lifo.total_iterations
+        );
+    }
+}

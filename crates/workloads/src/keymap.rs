@@ -1,0 +1,156 @@
+//! keymap (§6.8, Figure 11): shared-map LLC occupancy.
+//!
+//! Each thread holds a keyset of 1000 keys. Per iteration: the NCS
+//! advances a PRNG 1000 times; the CS picks a keyset index and, with
+//! probability 0.9, updates the shared 10-million-entry map with the
+//! existing key (temporal reuse), else replaces that keyset slot with
+//! a fresh random key and updates the map with it. Threads touch
+//! disjoint map regions, so the shared resource is LLC *occupancy*:
+//! each circulating thread's hot bucket set competes for residency.
+
+use malthus_machinesim::{
+    layout, Action, MachineConfig, MemPattern, SimWorkload, Simulation, WorkloadCtx,
+};
+use malthus_park::XorShift64;
+
+use crate::choice::LockChoice;
+
+/// Keys per thread-local keyset.
+pub const KEYSET: usize = 1000;
+/// Probability of reusing an existing keyset entry.
+pub const REUSE_P: f64 = 0.9;
+/// Map key range (10 M keys).
+pub const KEY_RANGE: u64 = 10_000_000;
+/// Bytes of map region (10 M entries, hashed buckets).
+pub const MAP_BYTES: u64 = 80 << 20;
+/// Cycles for the NCS PRNG advance (1000 steps of mt19937).
+pub const NCS_CYCLES: u64 = 4000;
+/// Cycles of hashing/probing per map update.
+pub const CS_CYCLES: u64 = 300;
+/// Lines touched per map update (bucket + node + neighbour).
+pub const CS_TOUCHES: usize = 3;
+
+/// The per-thread keymap program.
+pub struct KeymapThread {
+    step: u8,
+    keys: Vec<u64>,
+    rng: XorShift64,
+    /// Key chosen for the in-flight critical section.
+    current_key: u64,
+}
+
+impl KeymapThread {
+    /// Creates a thread with a pre-initialized random keyset.
+    pub fn new(tid: usize) -> Self {
+        let rng = XorShift64::new(0x4B11 ^ (tid as u64 + 1) * 0x9E37_79B9);
+        let keys = (0..KEYSET).map(|_| rng.next_below(KEY_RANGE)).collect();
+        KeymapThread {
+            step: 0,
+            keys,
+            rng,
+            current_key: 0,
+        }
+    }
+
+    fn bucket_addr(key: u64) -> u64 {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        layout::SHARED_BASE + (h % (MAP_BYTES / 64)) * 64
+    }
+}
+
+impl SimWorkload for KeymapThread {
+    fn next_action(&mut self, _ctx: &mut WorkloadCtx<'_>) -> Action {
+        let a = match self.step {
+            // NCS: advance the PRNG 1000 times.
+            0 => Action::Compute(NCS_CYCLES),
+            1 => Action::Acquire(0),
+            2 => {
+                // Pick a keyset slot; reuse or replace.
+                let idx = self.rng.next_below(KEYSET as u64) as usize;
+                let reuse = self.rng.next_u64() < (REUSE_P * u64::MAX as f64) as u64;
+                if !reuse {
+                    self.keys[idx] = self.rng.next_below(KEY_RANGE);
+                }
+                self.current_key = self.keys[idx];
+                Action::Compute(CS_CYCLES)
+            }
+            3 => {
+                // Touch the key's bucket chain.
+                let base = Self::bucket_addr(self.current_key);
+                Action::Access(MemPattern::StrideIn {
+                    base: layout::SHARED_BASE,
+                    bytes: MAP_BYTES,
+                    start: base,
+                    stride: 64,
+                    count: CS_TOUCHES as u32,
+                })
+            }
+            4 => Action::Release(0),
+            _ => Action::EndIteration,
+        };
+        self.step = (self.step + 1) % 6;
+        a
+    }
+}
+
+/// Builds the Figure 11 simulation.
+pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(lock.spec(0xF16_11));
+    for t in 0..threads {
+        sim.add_thread(Box::new(KeymapThread::new(t)));
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyset_reuse_keeps_mostly_stable_keys() {
+        let mut t = KeymapThread::new(0);
+        let before = t.keys.clone();
+        let rng = XorShift64::new(1);
+        let mut ctx = WorkloadCtx {
+            tid: 0,
+            rng: &rng,
+            iterations: 0,
+        };
+        for _ in 0..100 {
+            for _ in 0..6 {
+                let _ = t.next_action(&mut ctx);
+            }
+        }
+        let changed = before
+            .iter()
+            .zip(&t.keys)
+            .filter(|(a, b)| a != b)
+            .count();
+        // ~10% replacement over 100 iterations: expect ~10 slots, far
+        // fewer than 50.
+        assert!(changed < 50, "too many replacements: {changed}");
+        assert!(changed > 0, "replacement must happen sometimes");
+    }
+
+    #[test]
+    fn bucket_addresses_stay_in_region() {
+        for k in [0u64, 1, 999_999, KEY_RANGE - 1] {
+            let a = KeymapThread::bucket_addr(k);
+            assert!(a >= layout::SHARED_BASE);
+            assert!(a < layout::SHARED_BASE + MAP_BYTES);
+        }
+    }
+
+    #[test]
+    fn cr_outperforms_fifo_at_high_threads() {
+        let mcs = sim(64, LockChoice::McsS).run(0.005);
+        let cr = sim(64, LockChoice::McsCrStp).run(0.005);
+        assert!(
+            cr.throughput() > mcs.throughput(),
+            "Figure 11: CR must win: {} vs {}",
+            cr.throughput(),
+            mcs.throughput()
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! RandArray (§6.1, Figures 3 and 4): socket-level LLC pressure.
+//!
+//! Each thread loops: acquire the central lock; execute a critical
+//! section of 100 random fetches from a *shared* 1 MB array; release;
+//! execute a non-critical section of 400 random fetches from a
+//! *private* 1 MB array. Loads only (no stores), random indices to
+//! defeat prefetching, large pages (so the DTLB is not the story —
+//! the LLC is). With N threads circulating, the combined footprint is
+//! (N + 1) MB against an 8 MB LLC: classic MCS collapses once the
+//! footprint crosses capacity, while MCSCR clamps the circulating set
+//! near saturation (~5 threads) and keeps the footprint resident.
+
+use malthus_machinesim::{
+    layout, Action, MachineConfig, MemPattern, SimWorkload, Simulation, WorkloadCtx,
+};
+
+use crate::choice::LockChoice;
+
+/// Array size: 256 K 32-bit integers = 1 MB.
+pub const ARRAY_BYTES: u64 = 1 << 20;
+/// Random fetches per critical section.
+pub const CS_ACCESSES: u32 = 100;
+/// Random fetches per non-critical section.
+pub const NCS_ACCESSES: u32 = 400;
+/// Cycles of index-generation compute per fetch (xorshift + address
+/// arithmetic).
+pub const CYCLES_PER_STEP: u64 = 2;
+
+/// The per-thread RandArray program.
+pub struct RandArrayThread {
+    step: u8,
+}
+
+impl RandArrayThread {
+    /// Creates the state machine at loop start.
+    pub fn new() -> Self {
+        RandArrayThread { step: 0 }
+    }
+}
+
+impl Default for RandArrayThread {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimWorkload for RandArrayThread {
+    fn next_action(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action {
+        let a = match self.step {
+            0 => Action::Acquire(0),
+            1 => Action::Access(MemPattern::RandomIn {
+                base: layout::SHARED_BASE,
+                bytes: ARRAY_BYTES,
+                count: CS_ACCESSES,
+            }),
+            2 => Action::Compute(CS_ACCESSES as u64 * CYCLES_PER_STEP),
+            3 => Action::Release(0),
+            4 => Action::Access(MemPattern::RandomIn {
+                base: layout::private_base(ctx.tid),
+                bytes: ARRAY_BYTES,
+                count: NCS_ACCESSES,
+            }),
+            5 => Action::Compute(NCS_ACCESSES as u64 * CYCLES_PER_STEP),
+            _ => Action::EndIteration,
+        };
+        self.step = (self.step + 1) % 7;
+        a
+    }
+}
+
+/// Builds the Figure 3 simulation: `threads` RandArray threads over
+/// one central lock of the given configuration.
+pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(lock.spec(0xF16_3));
+    for _ in 0..threads {
+        sim.add_thread(Box::new(RandArrayThread::new()));
+    }
+    sim
+}
+
+/// Live (real-thread) RandArray over a real lock; returns aggregate
+/// iterations completed in `seconds`.
+pub fn live<L: malthus::RawLock + 'static>(
+    lock: std::sync::Arc<L>,
+    threads: usize,
+    seconds: f64,
+) -> u64 {
+    crate::live::run_lock_loop(
+        lock,
+        threads,
+        seconds,
+        crate::live::LoopShape {
+            cs_array_bytes: ARRAY_BYTES as usize,
+            cs_accesses: CS_ACCESSES,
+            ncs_array_bytes: ARRAY_BYTES as usize,
+            ncs_accesses: NCS_ACCESSES,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn throughput(threads: usize, lock: LockChoice) -> f64 {
+        sim(threads, lock).run(0.01).throughput()
+    }
+
+    #[test]
+    fn single_thread_all_locks_agree() {
+        let mcs = throughput(1, LockChoice::McsS);
+        let cr = throughput(1, LockChoice::McsCrStp);
+        let ratio = mcs / cr;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "uncontended locks must match: {ratio}"
+        );
+    }
+
+    #[test]
+    fn mcs_collapses_beyond_llc_capacity() {
+        // Classic MCS: throughput at 32 threads falls well below the
+        // ~5-thread peak (footprint 33 MB vs the 8 MB LLC).
+        let peak = throughput(5, LockChoice::McsS);
+        let collapsed = throughput(32, LockChoice::McsS);
+        assert!(
+            collapsed < peak * 0.75,
+            "expected LLC-driven collapse: peak={peak} at32={collapsed}"
+        );
+    }
+
+    #[test]
+    fn mcscr_stp_resists_collapse() {
+        let peak = throughput(5, LockChoice::McsCrStp);
+        let at32 = throughput(32, LockChoice::McsCrStp);
+        assert!(
+            at32 > peak * 0.7,
+            "CR must hold near peak: peak={peak} at32={at32}"
+        );
+    }
+
+    #[test]
+    fn mcscr_beats_mcs_at_32_threads() {
+        let mcs = throughput(32, LockChoice::McsS);
+        let cr = throughput(32, LockChoice::McsCrStp);
+        assert!(
+            cr > mcs * 1.3,
+            "Figure 4 headline: MCSCR-STP must beat MCS-S: {cr} vs {mcs}"
+        );
+    }
+
+    /// Steady-state (post-warmup) LWSS over 500-admission windows.
+    fn steady_lwss(history: &[u32]) -> f64 {
+        let tail = &history[history.len().min(500)..];
+        malthus_metrics::AdmissionLog::from_history(tail.to_vec()).average_lwss(500)
+    }
+
+    #[test]
+    fn lwss_is_restricted_under_cr() {
+        let r = sim(32, LockChoice::McsCrStp).run(0.01);
+        let lwss = steady_lwss(&r.admissions[0]);
+        assert!(
+            lwss < 12.0,
+            "CR LWSS should be near saturation, got {lwss}"
+        );
+        let r2 = sim(32, LockChoice::McsS).run(0.01);
+        let lwss2 = steady_lwss(&r2.admissions[0]);
+        assert!(lwss2 > 28.0, "FIFO LWSS should be ~32, got {lwss2}");
+    }
+}

@@ -1,0 +1,158 @@
+//! RingWalker (§6.2, Figure 5): core-level DTLB pressure.
+//!
+//! Each thread owns a private circularly-linked ring of 50 elements,
+//! each 8 KB and on its own page; the shared CS ring is identical. The
+//! NCS walks 50 private elements (resuming where it left off); the CS
+//! advances 10 shared elements. With two ACS members on one core the
+//! combined span is 150 pages against the core's 128-entry DTLB — the
+//! Figure 5 inflection at 16 threads. CR keeps the ACS small enough
+//! that cores rarely host two circulating threads.
+
+use malthus_machinesim::{
+    layout, Action, MachineConfig, MemPattern, SimWorkload, Simulation, WorkloadCtx,
+};
+
+use crate::choice::LockChoice;
+
+/// Elements per ring.
+pub const RING_ELEMENTS: u64 = 50;
+/// Bytes per element (one page each).
+pub const ELEMENT_BYTES: u64 = 8 * 1024;
+/// Elements the NCS walks per iteration.
+pub const NCS_WALK: u32 = 50;
+/// Elements the CS walks per iteration.
+pub const CS_WALK: u32 = 10;
+
+/// The per-thread RingWalker program.
+pub struct RingWalkerThread {
+    step: u8,
+    /// Persistent private-ring position (element index).
+    ncs_pos: u64,
+    /// Persistent shared-ring position.
+    cs_pos: u64,
+}
+
+impl RingWalkerThread {
+    /// Creates the state machine at ring start.
+    pub fn new() -> Self {
+        RingWalkerThread {
+            step: 0,
+            ncs_pos: 0,
+            cs_pos: 0,
+        }
+    }
+}
+
+impl Default for RingWalkerThread {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimWorkload for RingWalkerThread {
+    fn next_action(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action {
+        let ring_bytes = RING_ELEMENTS * ELEMENT_BYTES;
+        let a = match self.step {
+            0 => Action::Acquire(0),
+            1 => {
+                let start = layout::SHARED_BASE + self.cs_pos * ELEMENT_BYTES;
+                self.cs_pos = (self.cs_pos + CS_WALK as u64) % RING_ELEMENTS;
+                Action::Access(MemPattern::StrideIn {
+                    base: layout::SHARED_BASE,
+                    bytes: ring_bytes,
+                    start,
+                    stride: ELEMENT_BYTES,
+                    count: CS_WALK,
+                })
+            }
+            2 => Action::Release(0),
+            3 => {
+                let base = layout::private_base(ctx.tid);
+                let start = base + self.ncs_pos * ELEMENT_BYTES;
+                self.ncs_pos = (self.ncs_pos + NCS_WALK as u64) % RING_ELEMENTS;
+                Action::Access(MemPattern::StrideIn {
+                    base,
+                    bytes: ring_bytes,
+                    start,
+                    stride: ELEMENT_BYTES,
+                    count: NCS_WALK,
+                })
+            }
+            _ => Action::EndIteration,
+        };
+        self.step = (self.step + 1) % 5;
+        a
+    }
+}
+
+/// Builds the Figure 5 simulation.
+pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(lock.spec(0xF16_5));
+    for _ in 0..threads {
+        sim.add_thread(Box::new(RingWalkerThread::new()));
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_positions_advance_and_wrap() {
+        let mut w = RingWalkerThread::new();
+        let rng = malthus_park::XorShift64::new(1);
+        let mut ctx = WorkloadCtx {
+            tid: 0,
+            rng: &rng,
+            iterations: 0,
+        };
+        for _ in 0..5 {
+            // One full cycle of the state machine.
+            for _ in 0..5 {
+                let _ = w.next_action(&mut ctx);
+            }
+        }
+        assert_eq!(w.cs_pos, (5 * CS_WALK as u64) % RING_ELEMENTS);
+        assert_eq!(w.ncs_pos, (5 * NCS_WALK as u64) % RING_ELEMENTS);
+    }
+
+    #[test]
+    fn mcs_suffers_dtlb_inflection_past_one_thread_per_core() {
+        // 8 threads: one ring per core, spans fit. 32 threads: two
+        // ACS members per core under FIFO -> 150-page span, misses.
+        let r8 = sim(8, LockChoice::McsS).run(0.005);
+        let r32 = sim(32, LockChoice::McsS).run(0.005);
+        let m8 = r8.hierarchy.tlb_misses as f64 / r8.total_iterations.max(1) as f64;
+        let m32 = r32.hierarchy.tlb_misses as f64 / r32.total_iterations.max(1) as f64;
+        assert!(
+            m32 > m8 * 2.0,
+            "DTLB misses per iteration must jump: {m8} -> {m32}"
+        );
+    }
+
+    #[test]
+    fn cr_reduces_dtlb_misses_at_32_threads() {
+        let mcs = sim(32, LockChoice::McsS).run(0.005);
+        let cr = sim(32, LockChoice::McsCrStp).run(0.005);
+        let mcs_rate = mcs.hierarchy.tlb_misses as f64 / mcs.total_iterations.max(1) as f64;
+        let cr_rate = cr.hierarchy.tlb_misses as f64 / cr.total_iterations.max(1) as f64;
+        assert!(
+            cr_rate < mcs_rate * 0.7,
+            "CR must relieve the DTLB: MCS {mcs_rate} vs CR {cr_rate}"
+        );
+    }
+
+    #[test]
+    fn cr_outperforms_mcs_at_32_threads() {
+        let mcs = sim(32, LockChoice::McsS).run(0.005);
+        let cr = sim(32, LockChoice::McsCrStp).run(0.005);
+        assert!(
+            cr.throughput() > mcs.throughput(),
+            "Figure 5: CR wins at 32 threads: {} vs {}",
+            cr.throughput(),
+            mcs.throughput()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! libslock `stress_latency` (§6.3, Figure 6): pipeline competition.
+//!
+//! The benchmark from David et al. (SOSP'13), run as
+//! `./stress_latency -l 1 -d 10000 -a 200 -n <threads> -w 1 -c 1
+//! -p 5000`: acquire a central lock; run 200 iterations of a delay
+//! loop; release; run 5000 iterations of the same loop. Cycle-bound —
+//! almost no memory is touched — so the contended resource is the core
+//! pipelines, and the main inflection appears at 16 threads (one per
+//! core) where waiting spinners start stealing pipeline slots from
+//! working threads.
+
+use malthus_machinesim::{Action, MachineConfig, SimWorkload, Simulation, WorkloadCtx};
+
+use crate::choice::LockChoice;
+
+/// Delay-loop iterations inside the critical section (`-a 200`).
+pub const CS_ITERS: u64 = 200;
+/// Delay-loop iterations in the non-critical section (`-p 5000`).
+pub const NCS_ITERS: u64 = 5000;
+/// Cycles per delay-loop iteration.
+pub const CYCLES_PER_ITER: u64 = 4;
+
+/// The per-thread stress_latency program.
+pub struct StressThread {
+    step: u8,
+}
+
+impl StressThread {
+    /// Creates the state machine.
+    pub fn new() -> Self {
+        StressThread { step: 0 }
+    }
+}
+
+impl Default for StressThread {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimWorkload for StressThread {
+    fn next_action(&mut self, _ctx: &mut WorkloadCtx<'_>) -> Action {
+        let a = match self.step {
+            0 => Action::Acquire(0),
+            1 => Action::Compute(CS_ITERS * CYCLES_PER_ITER),
+            2 => Action::Release(0),
+            3 => Action::Compute(NCS_ITERS * CYCLES_PER_ITER),
+            _ => Action::EndIteration,
+        };
+        self.step = (self.step + 1) % 5;
+        a
+    }
+}
+
+/// Builds the Figure 6 simulation.
+pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(lock.spec(0xF16_6));
+    for _ in 0..threads {
+        sim.add_thread(Box::new(StressThread::new()));
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_saturation_scaling_rises() {
+        // (NCS + CS) / CS = 5200/200 = 26: below that, more threads
+        // mean more throughput.
+        let r8 = sim(8, LockChoice::McsS).run(0.005);
+        let r16 = sim(16, LockChoice::McsS).run(0.005);
+        assert!(r16.throughput() > r8.throughput() * 1.3);
+    }
+
+    #[test]
+    fn spinners_erode_throughput_past_16_threads() {
+        // Figure 6's inflection: beyond one thread per core, waiting
+        // spinners compete with workers for pipelines.
+        let r16 = sim(16, LockChoice::McsS).run(0.005);
+        let r64 = sim(64, LockChoice::McsS).run(0.005);
+        assert!(
+            r64.throughput() < r16.throughput() * 1.35,
+            "pipeline competition must cap scaling: {} vs {}",
+            r16.throughput(),
+            r64.throughput()
+        );
+    }
+
+    #[test]
+    fn cr_stp_holds_at_high_thread_counts() {
+        let cr64 = sim(64, LockChoice::McsCrStp).run(0.005);
+        let mcs256 = sim(256, LockChoice::McsS).run(0.005);
+        let cr256 = sim(256, LockChoice::McsCrStp).run(0.005);
+        assert!(
+            cr256.throughput() > mcs256.throughput(),
+            "CR-STP must beat spinning MCS at 256: {} vs {}",
+            cr256.throughput(),
+            mcs256.throughput()
+        );
+        assert!(
+            cr256.throughput() > cr64.throughput() * 0.2,
+            "CR-STP should not collapse: {} -> {}",
+            cr64.throughput(),
+            cr256.throughput()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! A producer/consumer pipeline over the CR bounded queue.
+//!
+//! The §6.7 structure (mutex + two condvars + queue) as a reusable
+//! component: with mostly-LIFO condvars, a small stable set of
+//! producers and consumers circulates ("fast flow") instead of the
+//! whole population, and the acquisitions-per-message diagnostic
+//! approaches 2 instead of 3.
+//!
+//! Run with `cargo run --release --example pipeline`.
+
+use std::sync::Arc;
+
+use malthusian::locks::McsCrLock;
+use malthusian::storage::BoundedQueue;
+
+fn main() {
+    const PRODUCERS: usize = 6;
+    const CONSUMERS: usize = 3;
+    const MESSAGES_PER_PRODUCER: u64 = 30_000;
+
+    let q: Arc<BoundedQueue<u64, McsCrLock>> = Arc::new(BoundedQueue::new(1_000, true));
+
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS as u64 {
+        let q = Arc::clone(&q);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..MESSAGES_PER_PRODUCER {
+                q.push(p * MESSAGES_PER_PRODUCER + i);
+            }
+        }));
+    }
+    let total = PRODUCERS as u64 * MESSAGES_PER_PRODUCER;
+    let mut consumers = Vec::new();
+    for c in 0..CONSUMERS {
+        let q = Arc::clone(&q);
+        let share = total / CONSUMERS as u64 + u64::from(c == 0) * (total % CONSUMERS as u64);
+        consumers.push(std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..share {
+                sum = sum.wrapping_add(q.pop());
+            }
+            sum
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let sum: u64 = consumers
+        .into_iter()
+        .map(|c| c.join().unwrap())
+        .fold(0, u64::wrapping_add);
+
+    let expected: u64 = (0..total).fold(0, u64::wrapping_add);
+    assert_eq!(sum, expected, "every message must arrive exactly once");
+    let s = q.stats();
+    println!("conveyed {} messages", s.popped);
+    println!(
+        "lock acquisitions per message: {:.2} (3 = futile FIFO pattern, 2 = fast flow)",
+        q.acquisitions_per_message()
+    );
+    println!("futile waits: {}", s.futile_waits);
+}

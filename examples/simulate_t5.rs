@@ -1,0 +1,35 @@
+//! Regenerate a slice of the paper's Figure 3 on the simulated T5.
+//!
+//! Shows the machinesim API end to end: build the RandArray workload
+//! at a few thread counts, run each lock configuration, and print
+//! throughput plus steady-state LWSS.
+//!
+//! Run with `cargo run --release --example simulate_t5`.
+
+use malthusian::metrics::AdmissionLog;
+use malthusian::workloads::{randarray, LockChoice};
+
+fn main() {
+    println!("RandArray on the simulated SPARC T5 (8 MB LLC, 128 CPUs)\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "threads", "MCS-S", "MCSCR-STP", "LWSS(MCS)", "LWSS(CR)"
+    );
+    for threads in [2usize, 5, 16, 32, 64] {
+        let mcs = randarray::sim(threads, LockChoice::McsS).run(0.01);
+        let cr = randarray::sim(threads, LockChoice::McsCrStp).run(0.01);
+        let lwss = |h: &[u32]| {
+            let tail = if h.len() > 500 { &h[500..] } else { h };
+            AdmissionLog::from_history(tail.to_vec()).average_lwss(500)
+        };
+        println!(
+            "{threads:>8} {:>12.0} {:>12.0} {:>10.1} {:>10.1}",
+            mcs.throughput(),
+            cr.throughput(),
+            lwss(&mcs.admissions[0]),
+            lwss(&cr.admissions[0]),
+        );
+    }
+    println!("\nMCS circulates everyone (LWSS = threads); MCSCR clamps the");
+    println!("circulating set near saturation and avoids the LLC collapse.");
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the *Malthusian Locks* reproduction.
+//!
+//! Re-exports the whole workspace so examples and downstream users
+//! need a single dependency:
+//!
+//! * [`locks`] — the concurrency-restricting lock algorithms
+//!   (`McsCrLock`, `LoiterLock`, `LifoCrLock`, `McsCrnLock`) plus
+//!   baselines, `Mutex`/`Condvar`/`Semaphore` wrappers.
+//! * [`park`] — the park/unpark waiting substrate.
+//! * [`metrics`] — LWSS, MTTR, Gini, RSTDDEV fairness metrics.
+//! * [`cachesim`] — the installer-tagged cache/TLB emulation.
+//! * [`machinesim`] — the discrete-event T5 machine model.
+//! * [`storage`] — splay allocator, SimpleLRU, MiniKv, KcCacheDb,
+//!   bounded queue, buffer pools.
+//! * [`workloads`] — the paper's twelve evaluation workloads.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology and results.
+//!
+//! # Examples
+//!
+//! ```
+//! use malthusian::locks::McsCrMutex;
+//!
+//! let m = McsCrMutex::default_cr(41u32);
+//! *m.lock() += 1;
+//! assert_eq!(*m.lock(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use malthus as locks;
+pub use malthus_cachesim as cachesim;
+pub use malthus_machinesim as machinesim;
+pub use malthus_metrics as metrics;
+pub use malthus_park as park;
+pub use malthus_storage as storage;
+pub use malthus_workloads as workloads;

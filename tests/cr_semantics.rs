@@ -1,0 +1,117 @@
+//! Integration tests of the CR condition variable, semaphore, queue
+//! and buffer-pool constructs working together with the CR locks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use malthusian::locks::{CrCondvar, CrSemaphore, McsCrLock, McsLock};
+use malthusian::storage::{BoundedQueue, BufferPool, SemBufferPool};
+
+#[test]
+fn queue_conveys_under_cr_lock_and_cr_condvars() {
+    let q: Arc<BoundedQueue<u64, McsCrLock>> = Arc::new(BoundedQueue::new(64, true));
+    let mut producers = Vec::new();
+    for p in 0..6u64 {
+        let q = Arc::clone(&q);
+        producers.push(std::thread::spawn(move || {
+            for i in 0..5_000 {
+                q.push(p * 5_000 + i);
+            }
+        }));
+    }
+    let q2 = Arc::clone(&q);
+    let consumer = std::thread::spawn(move || {
+        let mut sum = 0u64;
+        for _ in 0..30_000 {
+            sum = sum.wrapping_add(q2.pop());
+        }
+        sum
+    });
+    for p in producers {
+        p.join().unwrap();
+    }
+    let sum = consumer.join().unwrap();
+    let expected = (0..30_000u64).fold(0, u64::wrapping_add);
+    assert_eq!(sum, expected);
+    assert!(q.is_empty());
+}
+
+#[test]
+fn condvar_mesa_semantics_with_predicate_loops() {
+    let m = Arc::new(malthusian::locks::McsMutex::default_stp(0usize));
+    let cv = Arc::new(CrCondvar::mostly_lifo());
+    let served = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..5 {
+        let (m, cv, served) = (Arc::clone(&m), Arc::clone(&cv), Arc::clone(&served));
+        handles.push(std::thread::spawn(move || {
+            let mut g = m.lock();
+            while *g == 0 {
+                g = cv.wait(g);
+            }
+            *g -= 1;
+            drop(g);
+            served.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    while cv.waiter_count() < 5 {
+        std::thread::yield_now();
+    }
+    // Publish 5 tokens and wake everyone; each waiter consumes one.
+    *m.lock() = 5;
+    cv.notify_all();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(served.load(Ordering::SeqCst), 5);
+    assert_eq!(*m.lock(), 0);
+}
+
+#[test]
+fn semaphore_bounds_concurrency_exactly() {
+    let sem = Arc::new(CrSemaphore::mostly_lifo(4));
+    let inside = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let (sem, inside, peak) = (Arc::clone(&sem), Arc::clone(&inside), Arc::clone(&peak));
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..1_000 {
+                sem.acquire();
+                let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                inside.fetch_sub(1, Ordering::SeqCst);
+                sem.release();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(peak.load(Ordering::SeqCst) <= 4);
+    assert_eq!(sem.available_permits(), 4);
+}
+
+#[test]
+fn buffer_pools_conserve_buffers_under_stress() {
+    let cv_pool: Arc<BufferPool<McsLock>> = Arc::new(BufferPool::new(4, 4096, 0.999, 9));
+    let sem_pool = Arc::new(SemBufferPool::new(4, 4096, 0.999, 9));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let cv_pool = Arc::clone(&cv_pool);
+        let sem_pool = Arc::clone(&sem_pool);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                let a = cv_pool.take();
+                cv_pool.put(a);
+                let b = sem_pool.take();
+                sem_pool.put(b);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(cv_pool.available(), 4);
+    assert_eq!(sem_pool.available(), 4);
+}

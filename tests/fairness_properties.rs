@@ -1,0 +1,124 @@
+//! Property-based tests of the fairness metrics and CR policy
+//! decisions (proptest).
+
+use std::collections::HashSet;
+
+use malthusian::locks::policy::{AdmissionDiscipline, FairnessTrigger};
+use malthusian::metrics::{gini_coefficient, relative_stddev, AdmissionLog};
+use proptest::prelude::*;
+
+/// Brute-force LWSS reference: distinct thread ids per window.
+fn lwss_reference(history: &[u32], window: usize) -> f64 {
+    if history.is_empty() {
+        return 0.0;
+    }
+    let mut sizes = Vec::new();
+    let mut start = 0;
+    while start < history.len() {
+        let end = (start + window).min(history.len());
+        let full = end - start == window;
+        if full || start == 0 || (end - start) * 2 >= window {
+            let d: HashSet<_> = history[start..end].iter().collect();
+            sizes.push(d.len() as f64);
+        }
+        start += window;
+    }
+    sizes.iter().sum::<f64>() / sizes.len() as f64
+}
+
+proptest! {
+    #[test]
+    fn lwss_matches_reference(
+        history in proptest::collection::vec(0u32..16, 0..400),
+        window in 1usize..64,
+    ) {
+        let log = AdmissionLog::from_history(history.clone());
+        let got = log.average_lwss(window);
+        let want = lwss_reference(&history, window);
+        prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn lwss_never_exceeds_window_or_thread_count(
+        history in proptest::collection::vec(0u32..8, 1..300),
+        window in 1usize..50,
+    ) {
+        let log = AdmissionLog::from_history(history.clone());
+        let distinct: HashSet<_> = history.iter().collect();
+        let lwss = log.average_lwss(window);
+        prop_assert!(lwss <= window as f64 + 1e-9);
+        prop_assert!(lwss <= distinct.len() as f64 + 1e-9);
+        prop_assert!(lwss >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn mttr_is_at_least_one(history in proptest::collection::vec(0u32..6, 0..300)) {
+        let log = AdmissionLog::from_history(history);
+        if let Some(m) = log.median_time_to_reacquire() {
+            prop_assert!(m >= 1.0);
+        }
+    }
+
+    #[test]
+    fn ttr_count_is_len_minus_distinct(history in proptest::collection::vec(0u32..6, 0..300)) {
+        let log = AdmissionLog::from_history(history.clone());
+        let distinct: HashSet<_> = history.iter().collect();
+        prop_assert_eq!(
+            log.times_to_reacquire().len(),
+            history.len() - distinct.len()
+        );
+    }
+
+    #[test]
+    fn gini_is_bounded_and_scale_invariant(
+        work in proptest::collection::vec(1u64..10_000, 1..64),
+        scale in 1u64..50,
+    ) {
+        let g = gini_coefficient(&work);
+        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
+        let scaled: Vec<u64> = work.iter().map(|w| w * scale).collect();
+        let gs = gini_coefficient(&scaled);
+        prop_assert!((g - gs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rstddev_zero_iff_equal(work in proptest::collection::vec(1u64..1000, 2..32)) {
+        let r = relative_stddev(&work);
+        let all_equal = work.windows(2).all(|w| w[0] == w[1]);
+        if all_equal {
+            prop_assert!(r < 1e-12);
+        } else {
+            prop_assert!(r > 0.0);
+        }
+    }
+
+    #[test]
+    fn fairness_trigger_rate_tracks_period(period in 2u64..64, seed in 0u64..1000) {
+        let mut t = FairnessTrigger::new(period, seed);
+        let trials = 40_000u64;
+        let fires = (0..trials).filter(|_| t.fire()).count() as f64;
+        let expected = trials as f64 / period as f64;
+        // Loose 3-sigma-ish band.
+        let sigma = (trials as f64 * (1.0 / period as f64)).sqrt();
+        prop_assert!(
+            (fires - expected).abs() < 5.0 * sigma + 10.0,
+            "period {period}: fires {fires}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn discipline_prepend_rate_tracks_probability(
+        p in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut d = AdmissionDiscipline::new(p, seed);
+        let trials = 20_000u32;
+        let prepends = (0..trials).filter(|_| d.prepend()).count() as f64;
+        let expected = trials as f64 * p;
+        let sigma = (trials as f64 * p * (1.0 - p)).sqrt().max(1.0);
+        prop_assert!(
+            (prepends - expected).abs() < 6.0 * sigma + 10.0,
+            "p {p}: prepends {prepends}, expected {expected}"
+        );
+    }
+}

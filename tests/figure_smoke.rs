@@ -1,0 +1,86 @@
+//! Small-parameter smoke runs of every figure's workload: the full
+//! evaluation pipeline (workload -> simulator -> report -> metrics)
+//! must hold together end to end.
+
+use malthusian::workloads::*;
+
+const T: f64 = 0.003;
+
+#[test]
+fn fig03_randarray_pipeline() {
+    let r = randarray::sim(8, LockChoice::McsCrStp).run(T);
+    assert!(r.total_iterations > 0);
+    assert!(r.fairness(0).admissions > 0);
+}
+
+#[test]
+fn fig05_ringwalker_pipeline() {
+    let r = ringwalker::sim(8, LockChoice::McsS).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig06_stress_latency_pipeline() {
+    let r = stress_latency::sim(8, LockChoice::McsStp).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig07_mmicro_pipeline() {
+    let r = mmicro::sim(4, LockChoice::McsCrS).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig08_readwhilewriting_pipeline() {
+    let r = readwhilewriting::sim(6, LockChoice::McsCrStp).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig09_kccachetest_pipeline() {
+    let r = kccachetest::sim(6, LockChoice::McsS).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig10_prodcons_pipeline() {
+    let r = prodcons::sim(4, LockChoice::McsCrStp).run(T);
+    assert!(prodcons::messages(&r, 4) > 0);
+}
+
+#[test]
+fn fig11_keymap_pipeline() {
+    let r = keymap::sim(8, LockChoice::McsCrStp).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig12_lrucache_pipeline() {
+    let (sim, cache) = lrucache::sim_with_cache(8, LockChoice::McsS);
+    let r = sim.run(T);
+    assert!(r.total_iterations > 0);
+    let s = cache.lock().unwrap().stats();
+    assert!(s.hits + s.misses > 0);
+}
+
+#[test]
+fn fig13_perlish_pipeline() {
+    let fifo = perlish::sim(4, false).run(T);
+    let lifo = perlish::sim(4, true).run(T);
+    assert!(fifo.total_iterations > 0);
+    assert!(lifo.total_iterations > 0);
+}
+
+#[test]
+fn fig14_bufferpool_pipeline() {
+    let r = bufferpool::sim_with_prepend(8, 0.999).run(T);
+    assert!(r.total_iterations > 0);
+}
+
+#[test]
+fn fig01_analytic_model_shape() {
+    use malthusian::machinesim::AnalyticModel;
+    let m = AnalyticModel::paper_example();
+    assert!(m.throughput_with_cr(64) > m.throughput_without_cr(64) * 2.0);
+}

@@ -1,0 +1,179 @@
+//! Cross-crate stress tests: every lock algorithm must provide mutual
+//! exclusion, progress, and bounded unfairness under real contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use malthusian::locks::{
+    ClhLock, Instrumented, LifoCrLock, LoiterLock, McsCrLock, McsCrnLock, McsLock, Mutex,
+    RawLock, TasLock, TatasLock, TicketLock,
+};
+use malthusian::metrics::{AdmissionLog, FairnessSummary};
+
+/// Shared-counter stress: the canonical mutual-exclusion invariant.
+fn stress<L: RawLock + 'static>(lock: L, threads: usize, iters: u64) {
+    let lock = Arc::new(lock);
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let lock = Arc::clone(&lock);
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..iters {
+                lock.lock();
+                // Unsynchronized RMW: only safe under real exclusion.
+                let v = counter.load(Ordering::Relaxed);
+                counter.store(v + 1, Ordering::Relaxed);
+                // SAFETY: we hold the lock.
+                unsafe { lock.unlock() };
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), threads as u64 * iters);
+}
+
+#[test]
+fn tas_excludes() {
+    stress(TasLock::new(), 8, 5_000);
+}
+
+#[test]
+fn tatas_excludes() {
+    stress(TatasLock::new(), 8, 5_000);
+}
+
+#[test]
+fn ticket_excludes() {
+    stress(TicketLock::new(), 8, 5_000);
+}
+
+#[test]
+fn clh_excludes() {
+    stress(ClhLock::new(), 8, 5_000);
+}
+
+#[test]
+fn mcs_spin_excludes() {
+    stress(McsLock::spin(), 8, 5_000);
+}
+
+#[test]
+fn mcs_stp_excludes() {
+    stress(McsLock::stp(), 8, 5_000);
+}
+
+#[test]
+fn mcscr_spin_excludes() {
+    stress(McsCrLock::spin(), 8, 5_000);
+}
+
+#[test]
+fn mcscr_stp_excludes() {
+    stress(McsCrLock::stp(), 8, 5_000);
+}
+
+#[test]
+fn mcscrn_excludes() {
+    stress(McsCrnLock::stp(), 8, 5_000);
+}
+
+#[test]
+fn lifocr_excludes() {
+    stress(LifoCrLock::stp(), 8, 5_000);
+}
+
+#[test]
+fn loiter_excludes() {
+    stress(LoiterLock::default(), 8, 5_000);
+}
+
+/// Long-term fairness: with the default 1/1000 fairness period, every
+/// thread must complete work — CR is unfair short-term, never forever.
+#[test]
+fn mcscr_long_term_fairness_bounds_starvation() {
+    let lock = Arc::new(Mutex::with_raw(
+        Instrumented::new(McsCrLock::stp()),
+        (),
+    ));
+    let done = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let lock = Arc::clone(&lock);
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                drop(lock.lock());
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(done.load(Ordering::SeqCst), 8, "no thread may starve");
+    let history = lock.raw().history_snapshot();
+    let summary = FairnessSummary::from_log(&AdmissionLog::from_history(history));
+    assert_eq!(summary.admissions, 80_000);
+    assert_eq!(summary.threads, 8);
+}
+
+/// The admission history under contention is a complete, lossless
+/// record: every acquisition appears exactly once.
+#[test]
+fn admission_history_is_complete_for_every_cr_lock() {
+    fn check<L: RawLock + 'static>(lock: L) {
+        let lock = Arc::new(Instrumented::new(lock));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    lock.lock();
+                    // SAFETY: held.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let h = lock.history_snapshot();
+        assert_eq!(h.len(), 12_000, "{}", lock.name());
+        let counts = AdmissionLog::from_history(h).per_thread_counts();
+        assert_eq!(counts.len(), 6);
+        assert!(counts.values().all(|&c| c == 2_000));
+    }
+    check(McsCrLock::stp());
+    check(LifoCrLock::stp());
+    check(LoiterLock::default());
+    check(McsCrnLock::stp());
+}
+
+/// Guard-based API integration across lock types.
+#[test]
+fn mutex_guards_protect_compound_data() {
+    fn check<L: RawLock + Default + 'static>() {
+        let m: Arc<Mutex<Vec<u64>, L>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000 {
+                    m.lock().push(t * 1_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = m.lock();
+        assert_eq!(v.len(), 4_000);
+    }
+    check::<TasLock>();
+    check::<McsLock>();
+    check::<McsCrLock>();
+    check::<LifoCrLock>();
+}

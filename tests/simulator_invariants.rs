@@ -1,0 +1,124 @@
+//! Cross-crate invariants of the machine simulator.
+
+use malthusian::machinesim::{
+    Action, LockKind, LockSpec, MachineConfig, SimWorkload, Simulation, WaitMode, WorkloadCtx,
+};
+use malthusian::workloads::{randarray, LockChoice};
+use proptest::prelude::*;
+
+struct Loop(u8, u64, u64);
+
+impl SimWorkload for Loop {
+    fn next_action(&mut self, _ctx: &mut WorkloadCtx<'_>) -> Action {
+        let a = match self.0 {
+            0 => Action::Acquire(0),
+            1 => Action::Compute(self.1),
+            2 => Action::Release(0),
+            3 => Action::Compute(self.2),
+            _ => Action::EndIteration,
+        };
+        self.0 = (self.0 + 1) % 5;
+        a
+    }
+}
+
+fn build(threads: usize, choice: LockChoice) -> Simulation {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(choice.spec(42));
+    for _ in 0..threads {
+        sim.add_thread(Box::new(Loop(0, 800, 3_000)));
+    }
+    sim
+}
+
+/// The simulator is deterministic: identical builds produce identical
+/// reports.
+#[test]
+fn simulation_is_deterministic() {
+    let a = randarray::sim(16, LockChoice::McsCrStp).run(0.005);
+    let b = randarray::sim(16, LockChoice::McsCrStp).run(0.005);
+    assert_eq!(a.total_iterations, b.total_iterations);
+    assert_eq!(a.admissions, b.admissions);
+    assert_eq!(a.voluntary_parks, b.voluntary_parks);
+    assert_eq!(a.llc_misses(), b.llc_misses());
+}
+
+/// Work conservation: while threads are ready, a saturated CR lock
+/// must keep granting — total iterations grow roughly with interval.
+#[test]
+fn longer_intervals_do_more_work() {
+    let short = build(8, LockChoice::McsCrStp).run(0.004);
+    let long = build(8, LockChoice::McsCrStp).run(0.012);
+    assert!(
+        long.total_iterations as f64 > short.total_iterations as f64 * 2.0,
+        "{} vs {}",
+        short.total_iterations,
+        long.total_iterations
+    );
+}
+
+/// No thread starves under CR with the default fairness period.
+#[test]
+fn no_thread_starves_under_cr() {
+    let r = build(16, LockChoice::McsCrStp).run(0.03);
+    for (tid, &iters) in r.per_thread_iterations.iter().enumerate() {
+        assert!(iters > 0, "thread {tid} starved: {:?}", r.per_thread_iterations);
+    }
+}
+
+/// FIFO admission keeps per-thread work balanced to within the
+/// start-stagger skew (threads begin a few microseconds apart).
+#[test]
+fn fifo_admissions_stay_balanced() {
+    let r = build(8, LockChoice::McsS).run(0.01);
+    let min = *r.per_thread_iterations.iter().min().unwrap() as f64;
+    let max = *r.per_thread_iterations.iter().max().unwrap() as f64;
+    assert!(
+        (max - min) / max < 0.02,
+        "FIFO imbalance: {:?}",
+        r.per_thread_iterations
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Admission histories contain exactly the participating threads.
+    #[test]
+    fn admissions_cover_exactly_the_threads(threads in 2usize..12) {
+        let r = build(threads, LockChoice::McsCrStp).run(0.01);
+        let distinct: std::collections::HashSet<_> =
+            r.admissions[0].iter().copied().collect();
+        prop_assert_eq!(distinct.len(), threads);
+        for t in &distinct {
+            prop_assert!((*t as usize) < threads);
+        }
+    }
+
+    /// The lock's grant count equals the sum of thread iterations
+    /// (one acquisition per iteration) within the in-flight margin.
+    #[test]
+    fn grants_match_iterations(threads in 1usize..10) {
+        let r = build(threads, LockChoice::McsS).run(0.01);
+        let grants = r.admissions[0].len() as u64;
+        let iters = r.total_iterations;
+        prop_assert!(grants >= iters);
+        prop_assert!(grants <= iters + threads as u64 + 1);
+    }
+}
+
+/// The null lock provides no exclusion but also no waiting.
+#[test]
+fn null_lock_never_waits() {
+    let mut sim = Simulation::new(MachineConfig::t5_socket());
+    sim.add_lock(LockSpec {
+        kind: LockKind::Null,
+        wait: WaitMode::Spin,
+    });
+    for _ in 0..8 {
+        sim.add_thread(Box::new(Loop(0, 500, 500)));
+    }
+    let r = sim.run(0.005);
+    assert_eq!(r.voluntary_parks, 0);
+    assert!(r.total_iterations > 0);
+}
