@@ -1,52 +1,33 @@
-//! Ablation benches for the design choices DESIGN.md calls out:
-//! fairness period (throughput-vs-Gini frontier) and spin-then-park
-//! budget, both on the simulated RandArray at 32 threads.
+//! Ablation benches for the design choices DESIGN.md calls out
+//! (`cargo bench --bench ablation`): the fairness-period
+//! throughput-vs-Gini frontier on the simulated RandArray at 32
+//! threads. Dependency-free (`harness = false`); the simulator is
+//! deterministic, so a single run per period suffices.
 
-use std::time::Duration;
+use malthus::policy::FairnessTrigger;
+use malthus_machinesim::{LockKind, LockSpec, MachineConfig, Simulation, WaitMode};
+use malthus_workloads::randarray;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use malthus_workloads::{randarray, LockChoice};
-
-fn fairness_period(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_fairness_period");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
-    // The simulated run is deterministic; criterion measures the
-    // harness, while the interesting output (throughput + Gini) is
-    // printed once per period.
+fn main() {
+    println!("# ablation: fairness period vs throughput/Gini (RandArray, 32 simulated threads)");
+    println!("{:>10} {:>14} {:>8}", "period", "throughput/s", "Gini");
     for period in [10u64, 100, 1000, 10_000] {
-        let r = {
-            use malthus::policy::FairnessTrigger;
-            use malthus_machinesim::{LockKind, LockSpec, MachineConfig, Simulation, WaitMode};
-            let mut sim = Simulation::new(MachineConfig::t5_socket());
-            sim.add_lock(LockSpec {
-                kind: LockKind::Cr {
-                    fairness: FairnessTrigger::new(period, 7),
-                    cull_slack: 0,
-                },
-                wait: WaitMode::SpinThenPark,
-            });
-            for _ in 0..32 {
-                sim.add_thread(Box::new(randarray::RandArrayThread::new()));
-            }
-            sim.run(0.02)
-        };
+        let mut sim = Simulation::new(MachineConfig::t5_socket());
+        sim.add_lock(LockSpec {
+            kind: LockKind::Cr {
+                fairness: FairnessTrigger::new(period, 7),
+                cull_slack: 0,
+            },
+            wait: WaitMode::SpinThenPark,
+        });
+        for _ in 0..32 {
+            sim.add_thread(Box::new(randarray::RandArrayThread::new()));
+        }
+        let r = sim.run(malthus_bench::sim_seconds());
         println!(
-            "fairness period {period}: throughput {:.0}/s, Gini {:.3}",
+            "{period:>10} {:>14.0} {:>8.3}",
             r.throughput(),
             malthus_metrics::gini_coefficient(&r.per_thread_iterations)
         );
-        g.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
-            b.iter(|| {
-                // Tiny deterministic slice so criterion has work.
-                randarray::sim(8, LockChoice::McsCrStp)
-                    .run(0.0002)
-                    .total_iterations
-                    + p
-            })
-        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, fairness_period);
-criterion_main!(benches);

@@ -1,96 +1,69 @@
-//! Criterion micro-benchmarks of the *live* lock implementations.
+//! Micro-benchmarks of the *live* lock implementations
+//! (`cargo bench --bench live_locks`).
 //!
-//! These measure the real atomics/parking code on the host:
-//! uncontended acquire/release latency and contended throughput for
-//! each algorithm, with `std::sync::Mutex` and `parking_lot::Mutex`
-//! as external baselines. Absolute host numbers are not comparable to
-//! the paper's T5; orderings are.
+//! Dependency-free (`harness = false`): measures uncontended
+//! acquire/release latency and 4-thread contended throughput for each
+//! algorithm, with `std::sync::Mutex` as the external baseline and the
+//! pre-refactor `BaselineMcsCrLock` as the internal one. Absolute host
+//! numbers are not comparable to the paper's T5; orderings are.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use malthus::{
-    ClhLock, LifoCrLock, LoiterLock, McsCrLock, McsCrnLock, McsLock, RawLock, TasLock,
-    TatasLock, TicketLock,
+    ClhLock, LifoCrLock, LoiterLock, McsCrLock, McsCrnLock, McsLock, RawLock, TasLock, TatasLock,
+    TicketLock,
+};
+use malthus_bench::baseline::BaselineMcsCrLock;
+use malthus_bench::livebench::{
+    contended_ops_per_sec, contended_ops_per_sec_with, uncontended_ns_per_op,
 };
 
-fn uncontended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uncontended_lock_unlock");
-    g.measurement_time(Duration::from_secs(1)).sample_size(30);
+const UNCONTENDED_ITERS: u64 = 200_000;
+const CONTENDED_MS: u64 = 150;
+const CONTENDED_THREADS: usize = 4;
 
-    fn bench_raw<L: RawLock>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, lock: L) {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                lock.lock();
-                // SAFETY: acquired on the line above, same thread.
-                unsafe { lock.unlock() };
-            })
-        });
-    }
+fn bench_raw<L: RawLock + 'static>(name: &str, mk: impl Fn() -> L) {
+    let ns = uncontended_ns_per_op(&mk(), UNCONTENDED_ITERS);
+    let ops = contended_ops_per_sec(Arc::new(mk()), CONTENDED_THREADS, CONTENDED_MS);
+    println!("{name:<22} {ns:>10.1} ns/op   {ops:>12.0} ops/s @{CONTENDED_THREADS}T");
+}
 
-    bench_raw(&mut g, "TAS", TasLock::new());
-    bench_raw(&mut g, "TATAS", TatasLock::new());
-    bench_raw(&mut g, "Ticket", TicketLock::new());
-    bench_raw(&mut g, "CLH", ClhLock::new());
-    bench_raw(&mut g, "MCS-STP", McsLock::stp());
-    bench_raw(&mut g, "MCSCR-STP", McsCrLock::stp());
-    bench_raw(&mut g, "MCSCRN-STP", McsCrnLock::stp());
-    bench_raw(&mut g, "LIFO-CR-STP", LifoCrLock::stp());
-    bench_raw(&mut g, "LOITER", LoiterLock::default());
+fn main() {
+    println!(
+        "# live lock micro-benchmarks ({} host CPUs)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    println!("{:<22} {:>13}   {:>20}", "lock", "uncontended", "contended");
 
+    bench_raw("TAS", TasLock::new);
+    bench_raw("TATAS", TatasLock::new);
+    bench_raw("Ticket", TicketLock::new);
+    bench_raw("CLH", ClhLock::new);
+    bench_raw("MCS-S", McsLock::spin);
+    bench_raw("MCS-STP", McsLock::stp);
+    bench_raw("MCSCR-S", McsCrLock::spin);
+    bench_raw("MCSCR-STP", McsCrLock::stp);
+    bench_raw("MCSCRN-STP", McsCrnLock::stp);
+    bench_raw("LIFO-CR-STP", LifoCrLock::stp);
+    bench_raw("LOITER", LoiterLock::default);
+    bench_raw("baseline:MCSCR-S", BaselineMcsCrLock::spin);
+    bench_raw("baseline:MCSCR-STP", BaselineMcsCrLock::stp);
+
+    // std::sync::Mutex reference point (not a RawLock — its guard is
+    // scoped — so it goes through the closure-based harness variant).
     let std_mutex = std::sync::Mutex::new(());
-    g.bench_function("std::sync::Mutex", |b| {
-        b.iter(|| drop(std_mutex.lock().unwrap()))
-    });
-    let pl_mutex = parking_lot::Mutex::new(());
-    g.bench_function("parking_lot::Mutex", |b| {
-        b.iter(|| drop(pl_mutex.lock()))
-    });
-    g.finish();
-}
-
-fn contended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("contended_4_threads");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
-
-    fn bench_contended<L: RawLock + 'static>(
-        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-        name: &str,
-        mk: impl Fn() -> L,
-    ) {
-        g.bench_function(name, |b| {
-            b.iter_custom(|iters| {
-                let lock = Arc::new(mk());
-                let per_thread = (iters / 4).max(1);
-                let start = std::time::Instant::now();
-                let handles: Vec<_> = (0..4)
-                    .map(|_| {
-                        let lock = Arc::clone(&lock);
-                        std::thread::spawn(move || {
-                            for _ in 0..per_thread {
-                                lock.lock();
-                                // SAFETY: acquired above on this thread.
-                                unsafe { lock.unlock() };
-                            }
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-                start.elapsed()
-            })
-        });
+    let start = Instant::now();
+    for _ in 0..UNCONTENDED_ITERS {
+        drop(std_mutex.lock().unwrap());
     }
+    let ns = start.elapsed().as_nanos() as f64 / UNCONTENDED_ITERS as f64;
 
-    bench_contended(&mut g, "TATAS", TatasLock::new);
-    bench_contended(&mut g, "MCS-STP", McsLock::stp);
-    bench_contended(&mut g, "MCSCR-STP", McsCrLock::stp);
-    bench_contended(&mut g, "LIFO-CR-STP", LifoCrLock::stp);
-    bench_contended(&mut g, "LOITER", LoiterLock::default);
-    g.finish();
+    let m = Arc::new(std::sync::Mutex::new(()));
+    let op: Arc<dyn Fn() + Send + Sync> = Arc::new(move || drop(m.lock().unwrap()));
+    let ops = contended_ops_per_sec_with(op, CONTENDED_THREADS, CONTENDED_MS);
+    println!(
+        "{:<22} {ns:>10.1} ns/op   {ops:>12.0} ops/s @{CONTENDED_THREADS}T",
+        "std::sync::Mutex"
+    );
 }
-
-criterion_group!(benches, uncontended, contended);
-criterion_main!(benches);

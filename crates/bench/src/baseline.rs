@@ -1,0 +1,427 @@
+//! A faithful copy of the *pre-refactor* MCSCR hot path, kept as a
+//! measurable baseline.
+//!
+//! The padded/arena refactor claims three wins on the hot path:
+//!
+//! 1. one TLS access per `lock()` instead of three (`ensure_reaper`,
+//!    the free-list lookup, and the NUMA-id lookup);
+//! 2. cache-line-padded queue nodes and a padded `tail` word instead
+//!    of unpadded allocations that false-share;
+//! 3. plain lock-protected counter stores instead of three
+//!    `fetch_add`s on the line next to `tail`.
+//!
+//! [`BaselineMcsCrLock`] deliberately reproduces the old costs —
+//! unpadded nodes, the triple-TLS allocation dance, sanitize-on-alloc,
+//! and `AtomicU64::fetch_add` counters living beside `tail` — so the
+//! benchmark harness can put a number on the difference. It is **not**
+//! part of the lock library; do not use it outside benchmarks.
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use malthus::policy::{FairnessTrigger, DEFAULT_FAIRNESS_PERIOD};
+use malthus::RawLock;
+use malthus_park::{SpinThenYield, WaitCell, WaitPolicy, XorShift64};
+
+/// The seed's queue node: unpadded, so adjacent nodes share cache
+/// lines and a waiter's cell spin false-shares with its neighbour's
+/// link stores.
+struct Node {
+    cell: WaitCell,
+    next: AtomicPtr<Node>,
+    pprev: Cell<*mut Node>,
+    pnext: Cell<*mut Node>,
+    #[allow(dead_code)]
+    numa: Cell<u32>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            cell: WaitCell::new(),
+            next: AtomicPtr::new(ptr::null_mut()),
+            pprev: Cell::new(ptr::null_mut()),
+            pnext: Cell::new(ptr::null_mut()),
+            numa: Cell::new(0),
+        }
+    }
+}
+
+struct NodeCache(RefCell<Vec<*mut Node>>);
+
+impl Drop for NodeCache {
+    fn drop(&mut self) {
+        for node in self.0.borrow_mut().drain(..) {
+            // SAFETY: cached nodes are quiescent and thread-owned.
+            drop(unsafe { Box::from_raw(node) });
+        }
+    }
+}
+
+thread_local! {
+    static NODE_CACHE: NodeCache = const { NodeCache(RefCell::new(Vec::new())) };
+    static CURRENT_NUMA: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The seed's first TLS access: force destructor registration.
+fn ensure_reaper() {
+    let _ = NODE_CACHE.try_with(|_| {});
+}
+
+/// The seed's second and third TLS accesses: pop a node, then
+/// sanitize it and look up the NUMA id.
+fn alloc_node() -> *mut Node {
+    let node = NODE_CACHE
+        .try_with(|c| c.0.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| Box::into_raw(Box::new(Node::new())));
+    // SAFETY: thread-owned node; sanitize-on-alloc as the seed did.
+    unsafe {
+        (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+        (*node).pprev.set(ptr::null_mut());
+        (*node).pnext.set(ptr::null_mut());
+        (*node).numa.set(CURRENT_NUMA.with(|c| c.get()));
+    }
+    node
+}
+
+/// # Safety
+///
+/// `node` must be unreachable by other threads and owned by the
+/// calling thread.
+unsafe fn free_node(node: *mut Node) {
+    const CACHE_CAP: usize = 32;
+    // SAFETY: caller contract.
+    unsafe { (*node).cell.reset() };
+    let overflow = NODE_CACHE
+        .try_with(|c| {
+            let mut cache = c.0.borrow_mut();
+            if cache.len() < CACHE_CAP {
+                cache.push(node);
+                None
+            } else {
+                Some(node)
+            }
+        })
+        .unwrap_or(Some(node));
+    if let Some(node) = overflow {
+        // SAFETY: caller contract; Box-allocated.
+        drop(unsafe { Box::from_raw(node) });
+    }
+}
+
+/// # Safety
+///
+/// An arrival must be in flight for `node` (tail has moved past it).
+unsafe fn wait_link(node: *mut Node) -> *mut Node {
+    let mut spin = SpinThenYield::new();
+    loop {
+        // SAFETY: caller guarantees `node` is live.
+        let next = unsafe { (*node).next.load(Ordering::Acquire) };
+        if !next.is_null() {
+            return next;
+        }
+        spin.pause();
+    }
+}
+
+struct PassiveList {
+    head: *mut Node,
+    tail: *mut Node,
+    len: usize,
+}
+
+impl PassiveList {
+    const fn new() -> Self {
+        PassiveList {
+            head: ptr::null_mut(),
+            tail: ptr::null_mut(),
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// # Safety
+    ///
+    /// `node` live, in no list; caller holds the lock.
+    unsafe fn push_head(&mut self, node: *mut Node) {
+        // SAFETY: caller contract.
+        unsafe {
+            (*node).pprev.set(ptr::null_mut());
+            (*node).pnext.set(self.head);
+            (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+            if self.head.is_null() {
+                self.tail = node;
+            } else {
+                (*self.head).pprev.set(node);
+            }
+        }
+        self.head = node;
+        self.len += 1;
+    }
+
+    /// # Safety
+    ///
+    /// Caller holds the lock.
+    unsafe fn pop_head(&mut self) -> *mut Node {
+        let node = self.head;
+        if node.is_null() {
+            return node;
+        }
+        // SAFETY: caller contract.
+        unsafe {
+            self.head = (*node).pnext.get();
+            if self.head.is_null() {
+                self.tail = ptr::null_mut();
+            } else {
+                (*self.head).pprev.set(ptr::null_mut());
+            }
+            (*node).pnext.set(ptr::null_mut());
+        }
+        self.len -= 1;
+        node
+    }
+
+    /// # Safety
+    ///
+    /// Caller holds the lock.
+    unsafe fn pop_tail(&mut self) -> *mut Node {
+        let node = self.tail;
+        if node.is_null() {
+            return node;
+        }
+        // SAFETY: caller contract.
+        unsafe {
+            self.tail = (*node).pprev.get();
+            if self.tail.is_null() {
+                self.head = ptr::null_mut();
+            } else {
+                (*self.tail).pnext.set(ptr::null_mut());
+            }
+            (*node).pprev.set(ptr::null_mut());
+        }
+        self.len -= 1;
+        node
+    }
+}
+
+/// The pre-refactor MCSCR lock: unpadded field layout with the
+/// `fetch_add` counters sitting directly beside the contended `tail`.
+pub struct BaselineMcsCrLock {
+    tail: AtomicPtr<Node>,
+    owner: UnsafeCell<*mut Node>,
+    passive: UnsafeCell<PassiveList>,
+    fairness: UnsafeCell<FairnessTrigger>,
+    policy: WaitPolicy,
+    culls: AtomicU64,
+    reprovisions: AtomicU64,
+    fairness_grants: AtomicU64,
+}
+
+// SAFETY: as for McsCrLock — `tail`/counters atomic, the rest
+// lock-protected.
+unsafe impl Send for BaselineMcsCrLock {}
+// SAFETY: see above.
+unsafe impl Sync for BaselineMcsCrLock {}
+
+impl BaselineMcsCrLock {
+    /// Creates a baseline lock with the given waiting policy and the
+    /// paper's default fairness period.
+    pub fn new(policy: WaitPolicy) -> Self {
+        BaselineMcsCrLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            owner: UnsafeCell::new(ptr::null_mut()),
+            passive: UnsafeCell::new(PassiveList::new()),
+            fairness: UnsafeCell::new(FairnessTrigger::new(
+                DEFAULT_FAIRNESS_PERIOD,
+                XorShift64::from_entropy().next_u64(),
+            )),
+            policy,
+            culls: AtomicU64::new(0),
+            reprovisions: AtomicU64::new(0),
+            fairness_grants: AtomicU64::new(0),
+        }
+    }
+
+    /// Polite-spin variant (baseline for `MCSCR-S`).
+    pub fn spin() -> Self {
+        Self::new(WaitPolicy::spin())
+    }
+
+    /// Spin-then-park variant (baseline for `MCSCR-STP`).
+    pub fn stp() -> Self {
+        Self::new(WaitPolicy::spin_then_park())
+    }
+
+    /// # Safety
+    ///
+    /// Caller holds the lock; `me` is the owner's node; `node` is live
+    /// and in no list.
+    unsafe fn graft_as_successor(&self, me: *mut Node, node: *mut Node) {
+        // SAFETY: caller contract (pre-refactor orderings preserved).
+        unsafe {
+            let succ = (*me).next.load(Ordering::Acquire);
+            if succ.is_null() {
+                (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+                if self
+                    .tail
+                    .compare_exchange(me, node, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    (*node).cell.signal();
+                    free_node(me);
+                    return;
+                }
+                let succ = wait_link(me);
+                (*node).next.store(succ, Ordering::Release);
+                (*node).cell.signal();
+                free_node(me);
+                return;
+            }
+            (*node).next.store(succ, Ordering::Release);
+            (*node).cell.signal();
+            free_node(me);
+        }
+    }
+}
+
+// SAFETY: identical protocol to McsCrLock (see crates/core); only the
+// memory layout, TLS discipline and counter style differ.
+unsafe impl RawLock for BaselineMcsCrLock {
+    fn lock(&self) {
+        ensure_reaper();
+        let node = alloc_node();
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` is live until it observes our link.
+            unsafe {
+                (*prev).next.store(node, Ordering::Release);
+                (*node).cell.wait(self.policy);
+            }
+        }
+        // SAFETY: we hold the lock.
+        unsafe { *self.owner.get() = node };
+    }
+
+    fn try_lock(&self) -> bool {
+        ensure_reaper();
+        let node = alloc_node();
+        if self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // SAFETY: we hold the lock.
+            unsafe { *self.owner.get() = node };
+            true
+        } else {
+            // SAFETY: never published.
+            unsafe { free_node(node) };
+            false
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // SAFETY: caller holds the lock.
+        unsafe {
+            let me = *self.owner.get();
+            let passive = &mut *self.passive.get();
+
+            if !passive.is_empty() && (*self.fairness.get()).fire() {
+                let eldest = passive.pop_tail();
+                self.fairness_grants.fetch_add(1, Ordering::Relaxed);
+                self.graft_as_successor(me, eldest);
+                return;
+            }
+
+            let mut succ = (*me).next.load(Ordering::Acquire);
+            if succ.is_null() {
+                if !passive.is_empty() {
+                    let warm = passive.pop_head();
+                    (*warm).next.store(ptr::null_mut(), Ordering::Relaxed);
+                    if self
+                        .tail
+                        .compare_exchange(me, warm, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.reprovisions.fetch_add(1, Ordering::Relaxed);
+                        (*warm).cell.signal();
+                        free_node(me);
+                        return;
+                    }
+                    passive.push_head(warm);
+                    succ = wait_link(me);
+                } else {
+                    if self
+                        .tail
+                        .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        free_node(me);
+                        return;
+                    }
+                    succ = wait_link(me);
+                }
+            }
+
+            if succ != self.tail.load(Ordering::Acquire) {
+                let next = wait_link(succ);
+                passive.push_head(succ);
+                self.culls.fetch_add(1, Ordering::Relaxed);
+                succ = next;
+            }
+
+            (*succ).cell.signal();
+            free_node(me);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            WaitPolicy::Spin => "baseline:MCSCR-S",
+            WaitPolicy::SpinThenPark { .. } => "baseline:MCSCR-STP",
+            WaitPolicy::Park => "baseline:MCSCR-P",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn baseline_mutual_exclusion() {
+        let lock = Arc::new(BaselineMcsCrLock::stp());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    // SAFETY: we hold the lock.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4_000);
+    }
+
+    #[test]
+    fn baseline_names() {
+        assert_eq!(BaselineMcsCrLock::spin().name(), "baseline:MCSCR-S");
+        assert_eq!(BaselineMcsCrLock::stp().name(), "baseline:MCSCR-STP");
+    }
+}

@@ -1,0 +1,163 @@
+//! Live-lock throughput harness: writes `BENCH_locks.json`.
+//!
+//! Measures uncontended lock/unlock latency (ns/op) and a contended
+//! throughput sweep (ops/s) for the MCS family on the host, including
+//! the pre-refactor [`BaselineMcsCrLock`] so every run records the
+//! padded/arena refactor's delta alongside the current numbers.
+//!
+//! Environment knobs:
+//!
+//! * `MALTHUS_THREAD_SWEEP` — comma-separated contended thread counts
+//!   (default `1,4,8`).
+//! * `MALTHUS_BENCH_ITERS` — uncontended iterations (default 300000).
+//! * `MALTHUS_BENCH_MS` — contended measurement interval per
+//!   (lock, thread-count) cell in milliseconds (default 300).
+//! * `MALTHUS_BENCH_OUT` — output path (default `BENCH_locks.json`).
+
+use std::sync::Arc;
+
+use malthus::{McsCrLock, McsLock, RawLock};
+use malthus_bench::baseline::BaselineMcsCrLock;
+use malthus_bench::livebench::{measure_interleaved, to_json, LockFactory, Series};
+use malthus_bench::thread_sweep;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let threads = thread_sweep(&[1, 4, 8]);
+    let uncontended_iters = env_u64("MALTHUS_BENCH_ITERS", 300_000);
+    let contended_ms = env_u64("MALTHUS_BENCH_MS", 300);
+    let out_path =
+        std::env::var("MALTHUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_locks.json".to_string());
+
+    eprintln!(
+        "# bench_locks: threads {threads:?}, {uncontended_iters} uncontended iters, \
+         {contended_ms} ms contended interval, {} host CPUs",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    fn factory<L: RawLock + 'static>(mk: fn() -> L) -> LockFactory {
+        Box::new(move || Arc::new(mk()) as Arc<dyn RawLock>)
+    }
+    let named: Vec<(&str, LockFactory)> = vec![
+        ("MCS-S", factory(McsLock::spin)),
+        ("MCS-STP", factory(McsLock::stp)),
+        ("MCSCR-S", factory(McsCrLock::spin)),
+        ("MCSCR-STP", factory(McsCrLock::stp)),
+        ("baseline:MCSCR-S", factory(BaselineMcsCrLock::spin)),
+        ("baseline:MCSCR-STP", factory(BaselineMcsCrLock::stp)),
+    ];
+    let series: Vec<Series> =
+        measure_interleaved(&named, &threads, uncontended_iters, contended_ms);
+
+    // Refactor-vs-baseline speedups (contended sweep), recorded so the
+    // JSON carries both absolute numbers and the comparison.
+    let speedup = |new_name: &str, base_name: &str| -> String {
+        let new = series.iter().find(|s| s.name == new_name).unwrap();
+        let base = series.iter().find(|s| s.name == base_name).unwrap();
+        let per_thread: Vec<String> = new
+            .contended
+            .iter()
+            .zip(&base.contended)
+            .map(|(&(t, n), &(_, b))| format!("\"{t}\": {:.3}", n / b))
+            .collect();
+        format!("{{{}}}", per_thread.join(", "))
+    };
+    let geomean = |new_name: &str, base_name: &str| -> f64 {
+        let new = series.iter().find(|s| s.name == new_name).unwrap();
+        let base = series.iter().find(|s| s.name == base_name).unwrap();
+        let log_sum: f64 = new
+            .contended
+            .iter()
+            .zip(&base.contended)
+            .map(|(&(_, n), &(_, b))| (n / b).ln())
+            .sum();
+        (log_sum / new.contended.len() as f64).exp()
+    };
+    let extras = vec![
+        (
+            "speedup_vs_baseline_contended".to_string(),
+            format!(
+                "{{\"MCSCR-S\": {}, \"MCSCR-STP\": {}}}",
+                speedup("MCSCR-S", "baseline:MCSCR-S"),
+                speedup("MCSCR-STP", "baseline:MCSCR-STP")
+            ),
+        ),
+        (
+            "speedup_vs_baseline_uncontended".to_string(),
+            format!(
+                "{{\"MCSCR-S\": {:.3}, \"MCSCR-STP\": {:.3}}}",
+                series
+                    .iter()
+                    .find(|s| s.name == "baseline:MCSCR-S")
+                    .unwrap()
+                    .uncontended_ns
+                    / series
+                        .iter()
+                        .find(|s| s.name == "MCSCR-S")
+                        .unwrap()
+                        .uncontended_ns,
+                series
+                    .iter()
+                    .find(|s| s.name == "baseline:MCSCR-STP")
+                    .unwrap()
+                    .uncontended_ns
+                    / series
+                        .iter()
+                        .find(|s| s.name == "MCSCR-STP")
+                        .unwrap()
+                        .uncontended_ns
+            ),
+        ),
+        (
+            "speedup_vs_baseline_contended_geomean".to_string(),
+            format!(
+                "{{\"MCSCR-S\": {:.3}, \"MCSCR-STP\": {:.3}}}",
+                geomean("MCSCR-S", "baseline:MCSCR-S"),
+                geomean("MCSCR-STP", "baseline:MCSCR-STP")
+            ),
+        ),
+        (
+            "host_cpus".to_string(),
+            std::thread::available_parallelism()
+                .map_or(0, |n| n.get())
+                .to_string(),
+        ),
+        (
+            "threads_swept".to_string(),
+            format!(
+                "[{}]",
+                threads
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+    ];
+
+    // Human-readable table.
+    println!("{:<22} {:>14} contended ops/s", "lock", "uncontended");
+    for s in &series {
+        let cont: Vec<String> = s
+            .contended
+            .iter()
+            .map(|(t, ops)| format!("{t}T:{ops:.0}"))
+            .collect();
+        println!(
+            "{:<22} {:>11.1} ns  {}",
+            s.name,
+            s.uncontended_ns,
+            cont.join("  ")
+        );
+    }
+
+    let json = to_json(&series, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_locks.json");
+    eprintln!("# wrote {out_path}");
+}

@@ -16,6 +16,6 @@ fn main() {
         "aggregate steps/sec",
         &series,
         &THREAD_SWEEP,
-        |t, l| randarray::sim(t, l),
+        randarray::sim,
     );
 }

@@ -9,6 +9,6 @@ fn main() {
         "aggregate steps/sec",
         &LockChoice::FIGURE_SET,
         &THREAD_SWEEP,
-        |t, l| ringwalker::sim(t, l),
+        ringwalker::sim,
     );
 }

@@ -9,6 +9,6 @@ fn main() {
         "aggregate lock acquires/sec",
         &LockChoice::FIGURE_SET,
         &THREAD_SWEEP,
-        |t, l| stress_latency::sim(t, l),
+        stress_latency::sim,
     );
 }

@@ -9,6 +9,6 @@ fn main() {
         "aggregate malloc-free pairs/sec",
         &LockChoice::FIGURE_SET,
         &THREAD_SWEEP,
-        |t, l| mmicro::sim(t, l),
+        mmicro::sim,
     );
 }

@@ -9,6 +9,6 @@ fn main() {
         "aggregate operations/sec",
         &LockChoice::FIGURE_SET,
         &THREAD_SWEEP,
-        |t, l| readwhilewriting::sim(t, l),
+        readwhilewriting::sim,
     );
 }

@@ -23,10 +23,7 @@ fn main() {
             let r = prodcons::sim(p, s).run(sim_seconds());
             let msgs = prodcons::messages(&r, p);
             let per = r.admissions[0].len() as f64 / msgs.max(1) as f64;
-            row.push(format!(
-                "{:.0} ({per:.2})",
-                msgs as f64 / sim_seconds()
-            ));
+            row.push(format!("{:.0} ({per:.2})", msgs as f64 / sim_seconds()));
         }
         rows.push(row);
     }

@@ -9,6 +9,6 @@ fn main() {
         "aggregate ops/sec",
         &LockChoice::FIGURE_SET,
         &THREAD_SWEEP,
-        |t, l| keymap::sim(t, l),
+        keymap::sim,
     );
 }

@@ -16,9 +16,21 @@ fn main() {
         ("Succession", "Competitive", "Direct handoff"),
         ("Able to use spin-then-park waiting", "No", "Yes"),
         ("Polite local spinning (coherence)", "No", "Yes"),
-        ("Low contention performance - latency", "Preferred", "Inferior to TAS"),
-        ("High contention performance - throughput", "Inferior to MCS", "Preferred"),
-        ("Performance under preemption", "Preferred", "Lock-waiter preemption"),
+        (
+            "Low contention performance - latency",
+            "Preferred",
+            "Inferior to TAS",
+        ),
+        (
+            "High contention performance - throughput",
+            "Inferior to MCS",
+            "Preferred",
+        ),
+        (
+            "Performance under preemption",
+            "Preferred",
+            "Lock-waiter preemption",
+        ),
         ("Fairness", "Unbounded unfairness", "Fair (FIFO)"),
         ("Requires back-off tuning", "Yes", "No"),
     ]

@@ -44,16 +44,10 @@ fn main() {
                 .unwrap_or_else(|| "-".into())
         }),
         metric("Gini Coefficient", &|i| {
-            format!(
-                "{:.3}",
-                gini_coefficient(&reports[i].per_thread_iterations)
-            )
+            format!("{:.3}", gini_coefficient(&reports[i].per_thread_iterations))
         }),
         metric("RSTDDEV", &|i| {
-            format!(
-                "{:.3}",
-                relative_stddev(&reports[i].per_thread_iterations)
-            )
+            format!("{:.3}", relative_stddev(&reports[i].per_thread_iterations))
         }),
         metric("Voluntary Context Switches", &|i| {
             reports[i].voluntary_parks.to_string()

@@ -10,6 +10,9 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod livebench;
+
 use malthus_machinesim::{RunReport, Simulation};
 use malthus_metrics::{format_table, Column};
 use malthus_workloads::LockChoice;
@@ -29,8 +32,41 @@ pub fn sim_seconds() -> f64 {
         .unwrap_or(DEFAULT_SIM_SECONDS)
 }
 
+/// Returns the thread counts to sweep: `MALTHUS_THREAD_SWEEP` (a
+/// comma-separated list, e.g. `1,2,4`) when set and non-empty,
+/// otherwise `default`. CI smoke runs use the override so figure
+/// binaries don't sweep to 256 simulated threads.
+pub fn thread_sweep(default: &[usize]) -> Vec<usize> {
+    match std::env::var("MALTHUS_THREAD_SWEEP") {
+        Ok(v) => {
+            let parsed: Vec<usize> = v
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            if parsed.is_empty() {
+                // A set-but-unusable override must not silently run
+                // the full default sweep — in CI that turns a smoke
+                // run into a 256-thread simulation.
+                eprintln!(
+                    "warning: MALTHUS_THREAD_SWEEP={v:?} contains no positive integers; \
+                     using default sweep {default:?}"
+                );
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
 /// Runs a figure: for each thread count and lock series, build a
 /// simulation and report throughput; prints the paper-style table.
+///
+/// `threads` is the figure's default sweep; setting
+/// `MALTHUS_THREAD_SWEEP` (see [`thread_sweep`]) overrides it for
+/// every figure binary at once.
 pub fn run_figure(
     title: &str,
     unit: &str,
@@ -38,6 +74,7 @@ pub fn run_figure(
     threads: &[usize],
     build: impl Fn(usize, LockChoice) -> Simulation,
 ) {
+    let threads = thread_sweep(threads);
     println!("# {title}");
     println!("# Y axis: {unit}; simulated interval {} s\n", sim_seconds());
     let mut columns = vec![Column::right("threads")];
@@ -45,7 +82,7 @@ pub fn run_figure(
         columns.push(Column::right(s.label()));
     }
     let mut rows = Vec::new();
-    for &t in threads {
+    for &t in &threads {
         let mut row = vec![t.to_string()];
         for &s in series {
             let report = build(t, s).run(sim_seconds());

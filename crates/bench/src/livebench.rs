@@ -1,0 +1,244 @@
+//! Wall-clock measurement harness for the *live* lock implementations.
+//!
+//! Dependency-free (the container ships no criterion): plain
+//! `Instant`-based timing with warmup, used by the `bench_locks`
+//! binary and the `cargo bench` targets. Absolute host numbers are not
+//! comparable to the paper's T5; orderings and refactor deltas are.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use malthus::RawLock;
+
+/// Measures single-thread lock/unlock latency in nanoseconds per
+/// operation (one op = one acquire + one release).
+pub fn uncontended_ns_per_op<L: RawLock + ?Sized>(lock: &L, iters: u64) -> f64 {
+    // Warmup: populate the node arena / branch predictors.
+    for _ in 0..(iters / 10).max(1) {
+        lock.lock();
+        // SAFETY: acquired on the line above, same thread.
+        unsafe { lock.unlock() };
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        lock.lock();
+        // SAFETY: acquired on the line above, same thread.
+        unsafe { lock.unlock() };
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Measures contended throughput of an arbitrary lock/unlock closure
+/// in operations per second: `threads` threads run `op` in a loop for
+/// (at least) `interval_ms` after a barrier.
+///
+/// Timing is taken *inside* each worker (own start/stop stamps) and
+/// the span is `max(stop) - min(start)`: on an oversubscribed host the
+/// coordinating thread can be descheduled around the barrier for
+/// longer than the whole measurement, so its clock cannot be trusted.
+pub fn contended_ops_per_sec_with(
+    op: Arc<dyn Fn() + Send + Sync>,
+    threads: usize,
+    interval_ms: u64,
+) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let op = Arc::clone(&op);
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    op();
+                    ops += 1;
+                }
+                (start, Instant::now(), ops)
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    stop.store(true, Ordering::Relaxed);
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first_start = results.iter().map(|r| r.0).min().unwrap();
+    let last_stop = results.iter().map(|r| r.1).max().unwrap();
+    let total_ops: u64 = results.iter().map(|r| r.2).sum();
+    let elapsed = last_stop.duration_since(first_start).as_secs_f64();
+    total_ops as f64 / elapsed.max(f64::EPSILON)
+}
+
+/// [`contended_ops_per_sec_with`] specialized to a [`RawLock`]: each
+/// operation is one acquire + token critical section + release.
+pub fn contended_ops_per_sec<L: RawLock + ?Sized + 'static>(
+    lock: Arc<L>,
+    threads: usize,
+    interval_ms: u64,
+) -> f64 {
+    let op: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+        lock.lock();
+        // A token critical section so the queue machinery
+        // (culling/reprovisioning) is actually exercised.
+        std::hint::black_box(());
+        // SAFETY: acquired on the line above, same thread.
+        unsafe { lock.unlock() };
+    });
+    contended_ops_per_sec_with(op, threads, interval_ms)
+}
+
+/// One measured series: a lock name and its per-thread-count results.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Lock label (e.g. `MCSCR-STP`).
+    pub name: String,
+    /// Uncontended latency, ns per lock/unlock pair.
+    pub uncontended_ns: f64,
+    /// `(threads, ops_per_sec)` pairs of the contended sweep.
+    pub contended: Vec<(usize, f64)>,
+}
+
+/// Number of repetitions per contended cell; the reported figure is
+/// the median, which shrugs off scheduler noise on oversubscribed
+/// hosts. Override with `MALTHUS_BENCH_TRIALS`.
+pub const DEFAULT_TRIALS: usize = 5;
+
+fn trials() -> usize {
+    std::env::var("MALTHUS_BENCH_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(DEFAULT_TRIALS)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// A type-erased lock factory for interleaved comparisons.
+pub type LockFactory = Box<dyn Fn() -> Arc<dyn RawLock>>;
+
+/// Measures several lock types with **interleaved** trial rounds
+/// (lock₁ cell, lock₂ cell, …, repeated `MALTHUS_BENCH_TRIALS`
+/// times, medians per cell). Interleaving makes the baseline
+/// comparison a paired experiment: slow drift in host load biases
+/// every series equally instead of whichever happened to run last.
+pub fn measure_interleaved(
+    named: &[(&str, LockFactory)],
+    threads: &[usize],
+    uncontended_iters: u64,
+    contended_interval_ms: u64,
+) -> Vec<Series> {
+    let n = trials();
+    let mut uncont: Vec<Vec<f64>> = vec![Vec::new(); named.len()];
+    let mut cont: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); threads.len()]; named.len()];
+    for _round in 0..n {
+        for (i, (_, mk)) in named.iter().enumerate() {
+            uncont[i].push(uncontended_ns_per_op(&*mk(), uncontended_iters));
+            for (j, &t) in threads.iter().enumerate() {
+                cont[i][j].push(contended_ops_per_sec(mk(), t, contended_interval_ms));
+            }
+        }
+    }
+    named
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| Series {
+            name: name.to_string(),
+            uncontended_ns: median(uncont[i].clone()),
+            contended: threads
+                .iter()
+                .enumerate()
+                .map(|(j, &t)| (t, median(cont[i][j].clone())))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Serializes measured series (plus an optional extras map) as the
+/// `BENCH_locks.json` document. Hand-rolled JSON — no serde in the
+/// container.
+pub fn to_json(series: &[Series], extras: &[(String, String)]) -> String {
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.2}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"uncontended_ns_per_op\": {\n");
+    for (i, s) in series.iter().enumerate() {
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            s.name,
+            num(s.uncontended_ns),
+            comma
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"contended_ops_per_sec\": {\n");
+    for (i, s) in series.iter().enumerate() {
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        let body: Vec<String> = s
+            .contended
+            .iter()
+            .map(|(t, ops)| format!("\"{t}\": {}", num(*ops)))
+            .collect();
+        out.push_str(&format!(
+            "    \"{}\": {{{}}}{}\n",
+            s.name,
+            body.join(", "),
+            comma
+        ));
+    }
+    out.push_str("  }");
+    for (k, v) in extras {
+        out.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malthus::McsLock;
+
+    #[test]
+    fn harness_measures_positive_numbers() {
+        std::env::set_var("MALTHUS_BENCH_TRIALS", "1");
+        let named: Vec<(&str, LockFactory)> = vec![(
+            "MCS-STP",
+            Box::new(|| Arc::new(McsLock::stp()) as Arc<dyn RawLock>),
+        )];
+        let out = measure_interleaved(&named, &[1, 2], 1_000, 20);
+        assert_eq!(out.len(), 1);
+        let s = &out[0];
+        assert!(s.uncontended_ns > 0.0);
+        assert_eq!(s.contended.len(), 2);
+        assert!(s.contended.iter().all(|&(_, ops)| ops > 0.0));
+    }
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let s = Series {
+            name: "X".into(),
+            uncontended_ns: 12.5,
+            contended: vec![(1, 100.0), (4, 50.0)],
+        };
+        let j = to_json(
+            std::slice::from_ref(&s),
+            &[("note".into(), "\"hi\"".into())],
+        );
+        assert!(j.contains("\"X\": 12.50"));
+        assert!(j.contains("\"1\": 100.00, \"4\": 50.00"));
+        assert!(j.contains("\"note\": \"hi\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -50,7 +50,7 @@ impl CacheConfig {
         assert!(self.ways > 0 && self.size_bytes > 0, "degenerate geometry");
         let per_way = self.ways as u64 * self.line_bytes;
         assert!(
-            self.size_bytes % per_way == 0,
+            self.size_bytes.is_multiple_of(per_way),
             "capacity must divide into ways x lines"
         );
         self.size_bytes / per_way
@@ -249,6 +249,8 @@ impl Cache {
 }
 
 #[cfg(test)]
+// `0 * 64` is kept as deliberate line-index arithmetic in the tests.
+#[allow(clippy::erasing_op)]
 mod tests {
     use super::*;
 
@@ -287,7 +289,10 @@ mod tests {
         c.access(0 * 64, 0);
         c.access(2 * 64, 0);
         c.access(4 * 64, 0);
-        assert_eq!(c.access(0 * 64, 0), AccessOutcome::Miss(MissKind::SelfEvicted));
+        assert_eq!(
+            c.access(0 * 64, 0),
+            AccessOutcome::Miss(MissKind::SelfEvicted)
+        );
         assert_eq!(c.stats().self_misses, 1);
     }
 
@@ -297,7 +302,10 @@ mod tests {
         c.access(0 * 64, 0); // CPU 0 installs line 0
         c.access(2 * 64, 0);
         c.access(4 * 64, 1); // CPU 1's install evicts line 0
-        assert_eq!(c.access(0 * 64, 0), AccessOutcome::Miss(MissKind::Extrinsic));
+        assert_eq!(
+            c.access(0 * 64, 0),
+            AccessOutcome::Miss(MissKind::Extrinsic)
+        );
         assert_eq!(c.stats().extrinsic_misses, 1);
     }
 
@@ -316,11 +324,11 @@ mod tests {
     fn different_sets_do_not_interfere() {
         let mut c = tiny();
         // Odd lines map to set 1; evictions in set 0 leave them alone.
-        c.access(1 * 64, 0);
+        c.access(64, 0);
         c.access(0 * 64, 0);
         c.access(2 * 64, 0);
         c.access(4 * 64, 0);
-        assert!(c.probe(1 * 64));
+        assert!(c.probe(64));
     }
 
     #[test]
@@ -342,7 +350,7 @@ mod tests {
     #[test]
     fn working_set_exceeding_capacity_thrashes() {
         let mut c = tiny(); // 256 B = 4 lines
-        // 8-line cyclic working set with LRU: every access misses.
+                            // 8-line cyclic working set with LRU: every access misses.
         for _ in 0..4 {
             for i in 0..8u64 {
                 c.access(i * 64, 0);

@@ -176,7 +176,7 @@ mod tests {
         t.access(0); // refresh page 0
         t.access(4 * 8192); // evicts LRU = page 1
         assert!(t.access(0), "refreshed page must survive");
-        assert!(!t.access(1 * 8192), "LRU page must have been evicted");
+        assert!(!t.access(8192), "LRU page must have been evicted");
     }
 
     #[test]

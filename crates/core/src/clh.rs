@@ -12,7 +12,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
-use malthus_park::cpu_relax;
+use malthus_park::SpinThenYield;
 
 use crate::raw::RawLock;
 
@@ -91,10 +91,11 @@ unsafe impl RawLock for ClhLock {
             locked: AtomicBool::new(true),
         }));
         let prev = self.tail.swap(node, Ordering::AcqRel);
+        let mut spin = SpinThenYield::new();
         // SAFETY: `prev` is a live node: predecessors are freed only by
         // their successor (us), after this spin completes.
         while unsafe { (*prev).locked.load(Ordering::Acquire) } {
-            cpu_relax();
+            spin.pause();
         }
         // SAFETY: the predecessor has released; no thread other than us
         // references `prev` any more (its owner forgot it at unlock).

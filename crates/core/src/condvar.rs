@@ -95,7 +95,10 @@ impl CrCondvar {
     /// Condvar with an arbitrary prepend probability (sensitivity
     /// sweeps, Figure 14).
     pub fn with_prepend_probability(p: f64, seed: u64) -> Self {
-        Self::with_discipline(AdmissionDiscipline::new(p, seed), WaitPolicy::spin_then_park())
+        Self::with_discipline(
+            AdmissionDiscipline::new(p, seed),
+            WaitPolicy::spin_then_park(),
+        )
     }
 
     /// Atomically releases `guard`'s mutex and waits for a

@@ -68,6 +68,7 @@ mod mcscr;
 mod mcscrn;
 mod mutex;
 mod node;
+mod pad;
 pub mod policy;
 mod raw;
 mod semaphore;

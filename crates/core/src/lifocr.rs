@@ -11,20 +11,23 @@
 
 use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 
-use malthus_park::{cpu_relax, WaitPolicy, XorShift64};
+use malthus_park::{cpu_relax, SpinThenYield, WaitPolicy, XorShift64};
 
-use crate::node::{alloc_node, ensure_reaper, free_node, QNode};
+use crate::node::{alloc_node, free_node, QNode};
+use crate::pad::{CachePadded, LockCounter};
 use crate::policy::{FairnessTrigger, DEFAULT_FAIRNESS_PERIOD};
 use crate::raw::RawLock;
 
 /// Distinguished stack-top value: lock held, no waiters.
 ///
 /// The paper defines a special value for "held with empty stack"; 0
-/// (null) means unlocked. Alignment of `QNode` guarantees 1 is never a
-/// real pointer.
-const HELD_EMPTY: *mut QNode = 1 as *mut QNode;
+/// (null) means unlocked. `dangling_mut` yields the canonical
+/// non-allocated placeholder address (`align_of::<QNode>()`, in the
+/// never-mapped first page), so it can never collide with a real
+/// heap-allocated node.
+const HELD_EMPTY: *mut QNode = std::ptr::dangling_mut::<QNode>();
 
 /// Counters describing LIFO-CR admission behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,17 +51,25 @@ pub struct LifoStats {
 /// ```
 pub struct LifoCrLock {
     /// Null = unlocked; [`HELD_EMPTY`] = held, no waiters; otherwise
-    /// the top of the waiter stack (which implies held).
-    top: AtomicPtr<QNode>,
-    /// Fairness trial state; accessed only by the lock holder.
-    fairness: UnsafeCell<FairnessTrigger>,
+    /// the top of the waiter stack (which implies held). The one
+    /// contended word, isolated on its own cache line.
+    top: CachePadded<AtomicPtr<QNode>>,
+    /// Holder-only state, grouped away from `top`.
+    cr: CachePadded<LifoState>,
     policy: WaitPolicy,
-    lifo_grants: AtomicU64,
-    fairness_grants: AtomicU64,
 }
 
-// SAFETY: `top` and counters are atomic; `fairness` is serialized by
-// the lock itself (only the holder fires trials).
+/// Holder-only state of a [`LifoCrLock`]; serialized by the lock.
+struct LifoState {
+    /// Fairness trial state.
+    fairness: UnsafeCell<FairnessTrigger>,
+    lifo_grants: LockCounter,
+    fairness_grants: LockCounter,
+}
+
+// SAFETY: `top` is atomic and the counters tolerate racy reads;
+// `fairness` is serialized by the lock itself (only the holder fires
+// trials).
 unsafe impl Send for LifoCrLock {}
 // SAFETY: see above.
 unsafe impl Sync for LifoCrLock {}
@@ -73,11 +84,13 @@ impl LifoCrLock {
     /// Creates a LIFO-CR lock with explicit parameters.
     pub fn with_params(policy: WaitPolicy, fairness_period: u64, seed: u64) -> Self {
         LifoCrLock {
-            top: AtomicPtr::new(ptr::null_mut()),
-            fairness: UnsafeCell::new(FairnessTrigger::new(fairness_period, seed)),
+            top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            cr: CachePadded::new(LifoState {
+                fairness: UnsafeCell::new(FairnessTrigger::new(fairness_period, seed)),
+                lifo_grants: LockCounter::new(),
+                fairness_grants: LockCounter::new(),
+            }),
             policy,
-            lifo_grants: AtomicU64::new(0),
-            fairness_grants: AtomicU64::new(0),
         }
     }
 
@@ -104,10 +117,14 @@ impl LifoCrLock {
     }
 
     /// Snapshot of admission counters.
+    ///
+    /// Same raciness contract as
+    /// [`McsCrLock::cr_stats`](crate::McsCrLock::cr_stats): tear-free
+    /// but possibly lagging in-flight unlocks.
     pub fn stats(&self) -> LifoStats {
         LifoStats {
-            lifo_grants: self.lifo_grants.load(Ordering::Relaxed),
-            fairness_grants: self.fairness_grants.load(Ordering::Relaxed),
+            lifo_grants: self.cr.lifo_grants.get(),
+            fairness_grants: self.cr.fairness_grants.get(),
         }
     }
 
@@ -201,16 +218,22 @@ impl Drop for LifoCrLock {
 // never returning to null/HELD_EMPTY while a holder exists.
 unsafe impl RawLock for LifoCrLock {
     fn lock(&self) {
-        ensure_reaper();
-        // Fast path: grab an unlocked lock.
+        // Fast path: grab an unlocked lock. No TLS is touched until a
+        // node is actually needed (the contended slow path below).
         if self
             .top
-            .compare_exchange(ptr::null_mut(), HELD_EMPTY, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                ptr::null_mut(),
+                HELD_EMPTY,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
         {
             return;
         }
         let node = alloc_node();
+        let mut spin = SpinThenYield::new();
         loop {
             let top = self.top.load(Ordering::Acquire);
             if top.is_null() {
@@ -247,13 +270,18 @@ unsafe impl RawLock for LifoCrLock {
                 unsafe { free_node(node) };
                 return;
             }
-            cpu_relax();
+            spin.pause();
         }
     }
 
     fn try_lock(&self) -> bool {
         self.top
-            .compare_exchange(ptr::null_mut(), HELD_EMPTY, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                ptr::null_mut(),
+                HELD_EMPTY,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 
@@ -262,10 +290,10 @@ unsafe impl RawLock for LifoCrLock {
         unsafe {
             let top = self.top.load(Ordering::Acquire);
             let has_waiters = top != HELD_EMPTY && !top.is_null();
-            if has_waiters && (*self.fairness.get()).fire() {
+            if has_waiters && (*self.cr.fairness.get()).fire() {
                 let eldest = self.extract_tail();
                 if !eldest.is_null() {
-                    self.fairness_grants.fetch_add(1, Ordering::Relaxed);
+                    self.cr.fairness_grants.bump();
                     (*eldest).cell.signal();
                     return;
                 }
@@ -275,7 +303,7 @@ unsafe impl RawLock for LifoCrLock {
             }
             let head = self.pop_or_release();
             if !head.is_null() {
-                self.lifo_grants.fetch_add(1, Ordering::Relaxed);
+                self.cr.lifo_grants.bump();
                 (*head).cell.signal();
             }
         }

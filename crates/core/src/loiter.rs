@@ -23,6 +23,7 @@ use std::time::Duration;
 use malthus_park::{polite_spin, Backoff, ParkResult, Parker, XorShift64};
 
 use crate::mcs::McsLock;
+use crate::pad::{CachePadded, LockCounter};
 use crate::raw::RawLock;
 
 /// Counters describing LOITER admission behaviour.
@@ -48,13 +49,14 @@ pub struct LoiterStats {
 /// assert_eq!(*m.lock(), 1);
 /// ```
 pub struct LoiterLock {
-    /// The outer TAS lock (competitive succession).
-    outer: AtomicBool,
-    /// The inner lock; its holder is the standby thread.
+    /// The outer TAS lock (competitive succession): the one word every
+    /// arrival hammers, isolated on its own cache line.
+    outer: CachePadded<AtomicBool>,
+    /// The inner lock; its holder is the standby thread. (McsLock pads
+    /// its own contended tail internally.)
     inner: McsLock,
-    /// The standby thread's wake handle plus a generation token: a
-    /// finishing standby only clears its *own* registration, so it
-    /// cannot wipe the registration of the next standby racing in.
+    /// Standby coordination fields, grouped away from `outer`: they
+    /// are touched at slow-path frequency, not per-arrival.
     standby: StdMutex<Option<(u64, malthus_park::Unparker)>>,
     /// Monotonic standby generation counter.
     standby_gen: AtomicU64,
@@ -66,22 +68,29 @@ pub struct LoiterLock {
     direct_grant: AtomicBool,
     /// Set by a standby that has waited too long (anti-starvation).
     impatient: AtomicBool,
-    /// Whether the current owner arrived via the slow path; protected
-    /// by the outer lock.
-    owner_from_slow: UnsafeCell<bool>,
+    /// Owner-only state (protected by the outer lock), on its own
+    /// line so holder bookkeeping never invalidates the arrival word.
+    held: CachePadded<LoiterState>,
     /// Maximum fast-path CAS attempts before reverting to the inner
     /// lock.
     arrival_spin_attempts: u32,
     /// Failed standby rounds before requesting direct handoff.
     impatience_threshold: u32,
-    fast_acquisitions: AtomicU64,
-    standby_acquisitions: AtomicU64,
-    direct_handoffs: AtomicU64,
 }
 
-// SAFETY: all shared fields are atomics or std mutexes except
-// `owner_from_slow`, which is only accessed by the current owner of
-// the outer lock.
+/// Owner-only state of a [`LoiterLock`]; serialized by the outer lock
+/// (every writer holds it at the time of the write).
+struct LoiterState {
+    /// Whether the current owner arrived via the slow path.
+    owner_from_slow: UnsafeCell<bool>,
+    fast_acquisitions: LockCounter,
+    standby_acquisitions: LockCounter,
+    direct_handoffs: LockCounter,
+}
+
+// SAFETY: all shared fields are atomics or std mutexes except the
+// `held` group, which is only accessed by the current owner of the
+// outer lock (counters tolerate racy reads).
 unsafe impl Send for LoiterLock {}
 // SAFETY: see above.
 unsafe impl Sync for LoiterLock {}
@@ -102,28 +111,34 @@ impl LoiterLock {
     /// demands direct handoff.
     pub fn new(arrival_spin_attempts: u32, impatience_threshold: u32) -> Self {
         LoiterLock {
-            outer: AtomicBool::new(false),
+            outer: CachePadded::new(AtomicBool::new(false)),
             inner: McsLock::stp(),
             standby: StdMutex::new(None),
             standby_gen: AtomicU64::new(0),
             standby_present: AtomicBool::new(false),
             direct_grant: AtomicBool::new(false),
             impatient: AtomicBool::new(false),
-            owner_from_slow: UnsafeCell::new(false),
+            held: CachePadded::new(LoiterState {
+                owner_from_slow: UnsafeCell::new(false),
+                fast_acquisitions: LockCounter::new(),
+                standby_acquisitions: LockCounter::new(),
+                direct_handoffs: LockCounter::new(),
+            }),
             arrival_spin_attempts,
             impatience_threshold,
-            fast_acquisitions: AtomicU64::new(0),
-            standby_acquisitions: AtomicU64::new(0),
-            direct_handoffs: AtomicU64::new(0),
         }
     }
 
     /// Snapshot of admission counters.
+    ///
+    /// Same raciness contract as
+    /// [`McsCrLock::cr_stats`](crate::McsCrLock::cr_stats): tear-free
+    /// but possibly lagging in-flight operations.
     pub fn stats(&self) -> LoiterStats {
         LoiterStats {
-            fast_acquisitions: self.fast_acquisitions.load(Ordering::Relaxed),
-            standby_acquisitions: self.standby_acquisitions.load(Ordering::Relaxed),
-            direct_handoffs: self.direct_handoffs.load(Ordering::Relaxed),
+            fast_acquisitions: self.held.fast_acquisitions.get(),
+            standby_acquisitions: self.held.standby_acquisitions.get(),
+            direct_handoffs: self.held.direct_handoffs.get(),
         }
     }
 
@@ -154,11 +169,11 @@ impl LoiterLock {
             // A direct grant conveys ownership without touching the
             // outer word (it stays held across the handoff).
             if self.direct_grant.swap(false, Ordering::AcqRel) {
-                self.direct_handoffs.fetch_add(1, Ordering::Relaxed);
+                self.held.direct_handoffs.bump();
                 break;
             }
             if self.try_outer() {
-                self.standby_acquisitions.fetch_add(1, Ordering::Relaxed);
+                self.held.standby_acquisitions.bump();
                 break;
             }
             rounds += 1;
@@ -168,9 +183,7 @@ impl LoiterLock {
             // Standby waiting: brief polite spin, then a *timed* park —
             // the timeout bounds the damage of any missed wakeup.
             polite_spin(512);
-            if self.direct_grant.load(Ordering::Acquire)
-                || !self.outer.load(Ordering::Relaxed)
-            {
+            if self.direct_grant.load(Ordering::Acquire) || !self.outer.load(Ordering::Relaxed) {
                 continue;
             }
             // Both outcomes (unparked or timed out) just re-poll.
@@ -189,7 +202,7 @@ impl LoiterLock {
         }
         self.impatient.store(false, Ordering::Release);
         // SAFETY: we now own the outer lock.
-        unsafe { *self.owner_from_slow.get() = true };
+        unsafe { *self.held.owner_from_slow.get() = true };
     }
 
     /// Wakes the standby thread if one is registered.
@@ -206,10 +219,7 @@ impl LoiterLock {
 
 impl Drop for LoiterLock {
     fn drop(&mut self) {
-        debug_assert!(
-            !*self.outer.get_mut(),
-            "LoiterLock dropped while held"
-        );
+        debug_assert!(!*self.outer.get_mut(), "LoiterLock dropped while held");
     }
 }
 
@@ -221,18 +231,18 @@ unsafe impl RawLock for LoiterLock {
     fn lock(&self) {
         // Fast path: bounded spin with randomized backoff.
         if self.try_outer() {
-            self.fast_acquisitions.fetch_add(1, Ordering::Relaxed);
+            self.held.fast_acquisitions.bump();
             // SAFETY: we own the outer lock.
-            unsafe { *self.owner_from_slow.get() = false };
+            unsafe { *self.held.owner_from_slow.get() = false };
             return;
         }
         let mut backoff = Backoff::for_tas(XorShift64::from_entropy().next_u64());
         for _ in 0..self.arrival_spin_attempts {
             backoff.pause();
             if self.try_outer() {
-                self.fast_acquisitions.fetch_add(1, Ordering::Relaxed);
+                self.held.fast_acquisitions.bump();
                 // SAFETY: we own the outer lock.
-                unsafe { *self.owner_from_slow.get() = false };
+                unsafe { *self.held.owner_from_slow.get() = false };
                 return;
             }
         }
@@ -242,7 +252,7 @@ unsafe impl RawLock for LoiterLock {
     fn try_lock(&self) -> bool {
         if self.try_outer() {
             // SAFETY: we own the outer lock.
-            unsafe { *self.owner_from_slow.get() = false };
+            unsafe { *self.held.owner_from_slow.get() = false };
             true
         } else {
             false
@@ -251,14 +261,12 @@ unsafe impl RawLock for LoiterLock {
 
     unsafe fn unlock(&self) {
         // SAFETY: caller owns the outer lock.
-        let from_slow = unsafe { *self.owner_from_slow.get() };
+        let from_slow = unsafe { *self.held.owner_from_slow.get() };
 
         // Anti-starvation: an impatient standby receives the lock by
         // direct handoff; the outer word stays held across the
         // transfer so no fast-path thread can barge.
-        if self.impatient.load(Ordering::Acquire)
-            && self.standby_present.load(Ordering::Acquire)
-        {
+        if self.impatient.load(Ordering::Acquire) && self.standby_present.load(Ordering::Acquire) {
             let slot = self.standby.lock().expect("standby mutex poisoned");
             if let Some((_, u)) = slot.as_ref() {
                 self.direct_grant.store(true, Ordering::Release);

@@ -14,25 +14,31 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
-use malthus_park::{cpu_relax, WaitPolicy};
+use malthus_park::{SpinThenYield, WaitPolicy};
 
-use crate::node::{alloc_node, ensure_reaper, free_node, QNode};
+use crate::node::{alloc_node, free_node, QNode};
+use crate::pad::CachePadded;
 use crate::raw::RawLock;
 
 /// Spins until `node.next` has been linked by an in-flight arrival.
+///
+/// The arrival is mid-publication, so the wait is normally a handful
+/// of pauses; the yield fallback covers the arrival being descheduled
+/// on an oversubscribed host.
 ///
 /// # Safety
 ///
 /// `node` must be a live queue node for which an arrival is known to
 /// be in progress (tail no longer equals `node`).
 pub(crate) unsafe fn wait_link(node: *mut QNode) -> *mut QNode {
+    let mut spin = SpinThenYield::new();
     loop {
         // SAFETY: caller guarantees `node` is live.
         let next = unsafe { (*node).next.load(Ordering::Acquire) };
         if !next.is_null() {
             return next;
         }
-        cpu_relax();
+        spin.pause();
     }
 }
 
@@ -50,9 +56,11 @@ pub(crate) unsafe fn wait_link(node: *mut QNode) -> *mut QNode {
 /// *stp.lock() += 1;
 /// ```
 pub struct McsLock {
-    tail: AtomicPtr<QNode>,
-    /// The owner's node; accessed only by the current lock holder.
-    owner: UnsafeCell<*mut QNode>,
+    /// The arrival-contended word, on its own cache line.
+    tail: CachePadded<AtomicPtr<QNode>>,
+    /// The owner's node; accessed only by the current lock holder, so
+    /// it must not share a line with the arrival-hammered `tail`.
+    owner: CachePadded<UnsafeCell<*mut QNode>>,
     policy: WaitPolicy,
 }
 
@@ -72,8 +80,8 @@ impl McsLock {
     /// Creates an unlocked MCS lock with the given waiting policy.
     pub fn new(policy: WaitPolicy) -> Self {
         McsLock {
-            tail: AtomicPtr::new(ptr::null_mut()),
-            owner: UnsafeCell::new(ptr::null_mut()),
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            owner: CachePadded::new(UnsafeCell::new(ptr::null_mut())),
             policy,
         }
     }
@@ -109,7 +117,6 @@ impl Drop for McsLock {
 // the tail swap/CAS and the wait-cell signal.
 unsafe impl RawLock for McsLock {
     fn lock(&self) {
-        ensure_reaper();
         let node = alloc_node();
         let prev = self.tail.swap(node, Ordering::AcqRel);
         if !prev.is_null() {
@@ -126,11 +133,17 @@ unsafe impl RawLock for McsLock {
     }
 
     fn try_lock(&self) -> bool {
-        ensure_reaper();
         let node = alloc_node();
+        // Success: Acquire pairs with the releasing CAS of the previous
+        // owner, and Release publishes `node`'s sanitized `next = null`
+        // store — an arrival that swaps the tail will *write* through
+        // that field, and without the release edge its link store and
+        // our stale null store would be unordered (lost-waiter risk on
+        // weakly-ordered hardware). Failure: the observed pointer is
+        // unused.
         if self
             .tail
-            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
         {
             // SAFETY: we hold the lock.
@@ -150,9 +163,12 @@ unsafe impl RawLock for McsLock {
         // SAFETY: `me` is our live node.
         let mut succ = unsafe { (*me).next.load(Ordering::Acquire) };
         if succ.is_null() {
+            // Success: Release hands the critical section to the next
+            // acquirer. Failure: observed value unused; `wait_link`
+            // supplies the Acquire edge before we touch the successor.
             if self
                 .tail
-                .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(me, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
                 .is_ok()
             {
                 // No successor; the queue is empty.

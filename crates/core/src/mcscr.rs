@@ -23,12 +23,13 @@
 
 use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 
 use malthus_park::{WaitPolicy, XorShift64};
 
 use crate::mcs::wait_link;
-use crate::node::{alloc_node, ensure_reaper, free_node, QNode};
+use crate::node::{alloc_node, free_node, QNode};
+use crate::pad::{CachePadded, LockCounter};
 use crate::policy::{FairnessTrigger, DEFAULT_FAIRNESS_PERIOD};
 use crate::raw::RawLock;
 
@@ -203,23 +204,33 @@ impl PassiveList {
 /// assert_eq!(*m.lock(), 1);
 /// ```
 pub struct McsCrLock {
-    tail: AtomicPtr<QNode>,
-    /// Owner's node; accessed only while holding the lock.
-    owner: UnsafeCell<*mut QNode>,
-    /// The passive set; protected by the lock itself (§4: "the MCS
-    /// lock protects the excess list").
-    passive: UnsafeCell<PassiveList>,
-    /// Fairness Bernoulli trial state; lock-protected.
-    fairness: UnsafeCell<FairnessTrigger>,
+    /// The arrival-contended word: every `lock()` RMWs it. Isolated on
+    /// its own cache line so holder-side CR edits never ping-pong with
+    /// arrivals.
+    tail: CachePadded<AtomicPtr<QNode>>,
+    /// All lock-protected state, grouped on a separate line from
+    /// `tail`: only the current holder touches any of it.
+    cr: CachePadded<CrState>,
     policy: WaitPolicy,
-    culls: AtomicU64,
-    reprovisions: AtomicU64,
-    fairness_grants: AtomicU64,
 }
 
-// SAFETY: `tail` and the counters are atomics; `owner`, `passive` and
-// `fairness` are accessed only by the current lock holder, so the lock
-// itself serializes them.
+/// Holder-only state of an [`McsCrLock`]; serialized by the lock
+/// itself (§4: "the MCS lock protects the excess list").
+struct CrState {
+    /// Owner's node.
+    owner: UnsafeCell<*mut QNode>,
+    /// The passive set.
+    passive: UnsafeCell<PassiveList>,
+    /// Fairness Bernoulli trial state.
+    fairness: UnsafeCell<FairnessTrigger>,
+    culls: LockCounter,
+    reprovisions: LockCounter,
+    fairness_grants: LockCounter,
+}
+
+// SAFETY: `tail` is an atomic and the counters tolerate racy reads;
+// `owner`, `passive` and `fairness` are accessed only by the current
+// lock holder, so the lock itself serializes them.
 unsafe impl Send for McsCrLock {}
 // SAFETY: see above.
 unsafe impl Sync for McsCrLock {}
@@ -235,14 +246,16 @@ impl McsCrLock {
     /// PRNG seed.
     pub fn with_params(policy: WaitPolicy, fairness_period: u64, seed: u64) -> Self {
         McsCrLock {
-            tail: AtomicPtr::new(ptr::null_mut()),
-            owner: UnsafeCell::new(ptr::null_mut()),
-            passive: UnsafeCell::new(PassiveList::new()),
-            fairness: UnsafeCell::new(FairnessTrigger::new(fairness_period, seed)),
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            cr: CachePadded::new(CrState {
+                owner: UnsafeCell::new(ptr::null_mut()),
+                passive: UnsafeCell::new(PassiveList::new()),
+                fairness: UnsafeCell::new(FairnessTrigger::new(fairness_period, seed)),
+                culls: LockCounter::new(),
+                reprovisions: LockCounter::new(),
+                fairness_grants: LockCounter::new(),
+            }),
             policy,
-            culls: AtomicU64::new(0),
-            reprovisions: AtomicU64::new(0),
-            fairness_grants: AtomicU64::new(0),
         }
     }
 
@@ -273,15 +286,24 @@ impl McsCrLock {
         // SAFETY: reading a usize is fine for a diagnostic; the value
         // may be stale but never tears on supported platforms. We
         // still go through the UnsafeCell pointer read.
-        unsafe { (*self.passive.get()).len() }
+        unsafe { (*self.cr.passive.get()).len() }
     }
 
     /// Snapshot of CR activity counters.
+    ///
+    /// **Raciness contract:** the counters are written only while the
+    /// lock is held (plain stores, no atomic RMWs), so a snapshot taken
+    /// while other threads contend may lag in-flight unlocks and may
+    /// observe the three counters at slightly different instants.
+    /// Individual values never tear. Invariants that span counters
+    /// (e.g. `culls == reprovisions + fairness_grants`) are only
+    /// guaranteed to balance once the lock is quiescent — after all
+    /// contending threads have been joined.
     pub fn cr_stats(&self) -> CrStats {
         CrStats {
-            culls: self.culls.load(Ordering::Relaxed),
-            reprovisions: self.reprovisions.load(Ordering::Relaxed),
-            fairness_grants: self.fairness_grants.load(Ordering::Relaxed),
+            culls: self.cr.culls.get(),
+            reprovisions: self.cr.reprovisions.get(),
+            fairness_grants: self.cr.fairness_grants.get(),
         }
     }
 
@@ -301,9 +323,14 @@ impl McsCrLock {
                 // `node` as the tail: the instant it is tail, arrivals
                 // may link through it.
                 (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+                // Success needs only Release (publish `node`'s null
+                // link); nothing is read through the swapped-out value.
+                // Failure needs nothing at all: the returned pointer is
+                // unused and `wait_link` below supplies the Acquire
+                // edge for the successor dereference.
                 if self
                     .tail
-                    .compare_exchange(me, node, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(me, node, Ordering::Release, Ordering::Relaxed)
                     .is_ok()
                 {
                     (*node).cell.signal();
@@ -332,7 +359,7 @@ impl Drop for McsCrLock {
         );
         debug_assert!(
             // SAFETY: exclusive access in Drop.
-            unsafe { (*self.passive.get()).is_empty() },
+            unsafe { (*self.cr.passive.get()).is_empty() },
             "McsCrLock dropped with passivated waiters"
         );
     }
@@ -345,7 +372,6 @@ impl Drop for McsCrLock {
 // liveness are preserved.
 unsafe impl RawLock for McsCrLock {
     fn lock(&self) {
-        ensure_reaper();
         let node = alloc_node();
         let prev = self.tail.swap(node, Ordering::AcqRel);
         if !prev.is_null() {
@@ -356,19 +382,23 @@ unsafe impl RawLock for McsCrLock {
             }
         }
         // SAFETY: we hold the lock.
-        unsafe { *self.owner.get() = node };
+        unsafe { *self.cr.owner.get() = node };
     }
 
     fn try_lock(&self) -> bool {
-        ensure_reaper();
         let node = alloc_node();
+        // Success: Acquire pairs with the previous owner's releasing
+        // CAS/graft so the critical section is ordered, and Release
+        // publishes `node`'s sanitized `next = null` store to the
+        // arrival that will link through it (see McsLock::try_lock).
+        // Failure: the observed pointer is unused.
         if self
             .tail
-            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
         {
             // SAFETY: we hold the lock.
-            unsafe { *self.owner.get() = node };
+            unsafe { *self.cr.owner.get() = node };
             true
         } else {
             // SAFETY: never published.
@@ -381,15 +411,15 @@ unsafe impl RawLock for McsCrLock {
         // SAFETY: caller holds the lock; all fields below are
         // lock-protected.
         unsafe {
-            let me = *self.owner.get();
+            let me = *self.cr.owner.get();
             debug_assert!(!me.is_null());
-            let passive = &mut *self.passive.get();
+            let passive = &mut *self.cr.passive.get();
 
             // Long-term fairness: occasionally cede to the eldest
             // passivated thread (the passive tail).
-            if !passive.is_empty() && (*self.fairness.get()).fire() {
+            if !passive.is_empty() && (*self.cr.fairness.get()).fire() {
                 let eldest = passive.pop_tail();
-                self.fairness_grants.fetch_add(1, Ordering::Relaxed);
+                self.cr.fairness_grants.bump();
                 self.graft_as_successor(me, eldest);
                 return;
             }
@@ -402,12 +432,16 @@ unsafe impl RawLock for McsCrLock {
                 if !passive.is_empty() {
                     let warm = passive.pop_head();
                     (*warm).next.store(ptr::null_mut(), Ordering::Relaxed);
+                    // Success: Release publishes `warm`'s null link (and
+                    // the critical section, for the eventual next owner).
+                    // Failure: observed value unused; `wait_link`
+                    // supplies the Acquire edge.
                     if self
                         .tail
-                        .compare_exchange(me, warm, Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(me, warm, Ordering::Release, Ordering::Relaxed)
                         .is_ok()
                     {
-                        self.reprovisions.fetch_add(1, Ordering::Relaxed);
+                        self.cr.reprovisions.bump();
                         (*warm).cell.signal();
                         free_node(me);
                         return;
@@ -417,9 +451,11 @@ unsafe impl RawLock for McsCrLock {
                     passive.push_head(warm);
                     succ = wait_link(me);
                 } else {
+                    // Orderings as above: Release hands the critical
+                    // section to the next lock()/try_lock() acquirer.
                     if self
                         .tail
-                        .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(me, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
                         .is_ok()
                     {
                         free_node(me);
@@ -431,10 +467,15 @@ unsafe impl RawLock for McsCrLock {
 
             // Culling: if `succ` is not the tail there is at least one
             // node beyond it, i.e. surplus. Excise one node per unlock.
-            if succ != self.tail.load(Ordering::Acquire) {
+            // Relaxed suffices: the Acquire load that produced `succ`
+            // synchronized with its arrival, whose tail swap therefore
+            // happened-before this load — we cannot observe a tail
+            // older than `succ`, and observing `succ` or newer only
+            // ever skips a cull (conservative, safe).
+            if succ != self.tail.load(Ordering::Relaxed) {
                 let next = wait_link(succ);
                 passive.push_head(succ);
-                self.culls.fetch_add(1, Ordering::Relaxed);
+                self.cr.culls.bump();
                 succ = next;
             }
 

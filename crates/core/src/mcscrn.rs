@@ -18,13 +18,14 @@
 
 use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
 use malthus_park::{WaitPolicy, XorShift64};
 
 use crate::mcs::wait_link;
 use crate::mcscr::PassiveList;
-use crate::node::{alloc_node, ensure_reaper, free_node, QNode};
+use crate::node::{alloc_node, free_node, QNode};
+use crate::pad::{CachePadded, LockCounter};
 use crate::policy::FairnessTrigger;
 use crate::raw::RawLock;
 
@@ -55,26 +56,36 @@ pub struct NumaStats {
 /// *m.lock() += 1;
 /// ```
 pub struct McsCrnLock {
-    tail: AtomicPtr<QNode>,
-    /// Owner's node; lock-protected.
+    /// The arrival-contended word, on its own cache line.
+    tail: CachePadded<AtomicPtr<QNode>>,
+    /// All holder-side state, grouped away from `tail`.
+    ncr: CachePadded<NumaCrState>,
+    policy: WaitPolicy,
+}
+
+/// Holder-only state of an [`McsCrnLock`]; serialized by the lock
+/// itself. `home` stays atomic only because [`McsCrnLock::home_node`]
+/// reads it without the lock; it is written exclusively by the holder.
+struct NumaCrState {
+    /// Owner's node.
     owner: UnsafeCell<*mut QNode>,
-    /// Remote (culled) threads; lock-protected. Head = most recently
-    /// culled, tail = eldest.
+    /// Remote (culled) threads. Head = most recently culled,
+    /// tail = eldest.
     remote: UnsafeCell<PassiveList>,
     /// Currently preferred home node ([`NO_HOME`] until first
     /// contended unlock).
     home: AtomicU32,
-    /// Rotation Bernoulli trial; lock-protected.
+    /// Rotation Bernoulli trial.
     rotation: UnsafeCell<FairnessTrigger>,
-    policy: WaitPolicy,
-    remote_culls: AtomicU64,
-    reprovisions: AtomicU64,
-    home_rotations: AtomicU64,
-    drained: AtomicU64,
+    remote_culls: LockCounter,
+    reprovisions: LockCounter,
+    home_rotations: LockCounter,
+    drained: LockCounter,
 }
 
-// SAFETY: `tail`, `home` and counters are atomics; `owner`, `remote`
-// and `rotation` are accessed only by the current lock holder.
+// SAFETY: `tail` and `home` are atomics and the counters tolerate racy
+// reads; `owner`, `remote` and `rotation` are accessed only by the
+// current lock holder.
 unsafe impl Send for McsCrnLock {}
 // SAFETY: see above.
 unsafe impl Sync for McsCrnLock {}
@@ -89,16 +100,18 @@ impl McsCrnLock {
     /// Creates an MCSCRN lock with explicit parameters.
     pub fn with_params(policy: WaitPolicy, rotation_period: u64, seed: u64) -> Self {
         McsCrnLock {
-            tail: AtomicPtr::new(ptr::null_mut()),
-            owner: UnsafeCell::new(ptr::null_mut()),
-            remote: UnsafeCell::new(PassiveList::new()),
-            home: AtomicU32::new(NO_HOME),
-            rotation: UnsafeCell::new(FairnessTrigger::new(rotation_period, seed)),
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            ncr: CachePadded::new(NumaCrState {
+                owner: UnsafeCell::new(ptr::null_mut()),
+                remote: UnsafeCell::new(PassiveList::new()),
+                home: AtomicU32::new(NO_HOME),
+                rotation: UnsafeCell::new(FairnessTrigger::new(rotation_period, seed)),
+                remote_culls: LockCounter::new(),
+                reprovisions: LockCounter::new(),
+                home_rotations: LockCounter::new(),
+                drained: LockCounter::new(),
+            }),
             policy,
-            remote_culls: AtomicU64::new(0),
-            reprovisions: AtomicU64::new(0),
-            home_rotations: AtomicU64::new(0),
-            drained: AtomicU64::new(0),
         }
     }
 
@@ -119,19 +132,24 @@ impl McsCrnLock {
 
     /// The currently preferred home NUMA node, if any.
     pub fn home_node(&self) -> Option<u32> {
-        match self.home.load(Ordering::Relaxed) {
+        match self.ncr.home.load(Ordering::Relaxed) {
             NO_HOME => None,
             n => Some(n),
         }
     }
 
     /// Snapshot of NUMA-CR counters.
+    ///
+    /// Same raciness contract as
+    /// [`McsCrLock::cr_stats`](crate::McsCrLock::cr_stats): tear-free
+    /// but possibly lagging in-flight unlocks; cross-counter balance
+    /// holds once the lock is quiescent.
     pub fn numa_stats(&self) -> NumaStats {
         NumaStats {
-            remote_culls: self.remote_culls.load(Ordering::Relaxed),
-            reprovisions: self.reprovisions.load(Ordering::Relaxed),
-            home_rotations: self.home_rotations.load(Ordering::Relaxed),
-            drained: self.drained.load(Ordering::Relaxed),
+            remote_culls: self.ncr.remote_culls.get(),
+            reprovisions: self.ncr.reprovisions.get(),
+            home_rotations: self.ncr.home_rotations.get(),
+            drained: self.ncr.drained.get(),
         }
     }
 
@@ -148,9 +166,12 @@ impl McsCrnLock {
             let succ = (*me).next.load(Ordering::Acquire);
             if succ.is_null() {
                 (*last).next.store(ptr::null_mut(), Ordering::Relaxed);
+                // Orderings as in McsCrLock::graft_as_successor:
+                // Release publishes the chain links; the failure value
+                // is unused (wait_link re-acquires).
                 if self
                     .tail
-                    .compare_exchange(me, last, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(me, last, Ordering::Release, Ordering::Relaxed)
                     .is_ok()
                 {
                     (*first).cell.signal();
@@ -178,7 +199,7 @@ impl Drop for McsCrnLock {
         );
         debug_assert!(
             // SAFETY: exclusive access in Drop.
-            unsafe { (*self.remote.get()).is_empty() },
+            unsafe { (*self.ncr.remote.get()).is_empty() },
             "McsCrnLock dropped with culled waiters"
         );
     }
@@ -189,7 +210,6 @@ impl Drop for McsCrnLock {
 // reprovision/drain).
 unsafe impl RawLock for McsCrnLock {
     fn lock(&self) {
-        ensure_reaper();
         let node = alloc_node();
         let prev = self.tail.swap(node, Ordering::AcqRel);
         if !prev.is_null() {
@@ -200,19 +220,20 @@ unsafe impl RawLock for McsCrnLock {
             }
         }
         // SAFETY: we hold the lock.
-        unsafe { *self.owner.get() = node };
+        unsafe { *self.ncr.owner.get() = node };
     }
 
     fn try_lock(&self) -> bool {
-        ensure_reaper();
         let node = alloc_node();
+        // Orderings as in McsCrLock::try_lock (AcqRel success: Acquire
+        // for the critical section, Release for the node's null link).
         if self
             .tail
-            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
         {
             // SAFETY: we hold the lock.
-            unsafe { *self.owner.get() = node };
+            unsafe { *self.ncr.owner.get() = node };
             true
         } else {
             // SAFETY: never published.
@@ -224,23 +245,23 @@ unsafe impl RawLock for McsCrnLock {
     unsafe fn unlock(&self) {
         // SAFETY: caller holds the lock; fields below lock-protected.
         unsafe {
-            let me = *self.owner.get();
+            let me = *self.ncr.owner.get();
             debug_assert!(!me.is_null());
-            let remote = &mut *self.remote.get();
+            let remote = &mut *self.ncr.remote.get();
 
             // Adopt a home node lazily: the first contended unlock
             // anoints the owner's node.
-            if self.home.load(Ordering::Relaxed) == NO_HOME {
-                self.home.store((*me).numa.get(), Ordering::Relaxed);
+            if self.ncr.home.load(Ordering::Relaxed) == NO_HOME {
+                self.ncr.home.store((*me).numa.get(), Ordering::Relaxed);
             }
 
             // Periodic rotation: pick the eldest remote waiter's node
             // as the new home and drain that node's threads back.
-            if !remote.is_empty() && (*self.rotation.get()).fire() {
+            if !remote.is_empty() && (*self.ncr.rotation.get()).fire() {
                 let eldest = remote.tail_node();
                 let new_home = (*eldest).numa.get();
-                self.home.store(new_home, Ordering::Relaxed);
-                self.home_rotations.fetch_add(1, Ordering::Relaxed);
+                self.ncr.home.store(new_home, Ordering::Relaxed);
+                self.ncr.home_rotations.bump();
 
                 // Collect matching nodes eldest-first and unlink them.
                 let mut matches: Vec<*mut QNode> = Vec::new();
@@ -252,8 +273,7 @@ unsafe impl RawLock for McsCrnLock {
                 for &n in &matches {
                     remote.unlink(n);
                 }
-                self.drained
-                    .fetch_add(matches.len() as u64, Ordering::Relaxed);
+                self.ncr.drained.add(matches.len() as u64);
                 // Link them into a chain: eldest first.
                 for pair in matches.windows(2) {
                     (*pair[0]).next.store(pair[1], Ordering::Relaxed);
@@ -267,17 +287,18 @@ unsafe impl RawLock for McsCrnLock {
             let mut succ = (*me).next.load(Ordering::Acquire);
             if succ.is_null() {
                 // Work conservation: reprovision from the remote list.
+                // CAS orderings as in McsCrLock::unlock.
                 if !remote.is_empty() {
                     let warm = remote.pop_head();
                     (*warm).next.store(ptr::null_mut(), Ordering::Relaxed);
                     if self
                         .tail
-                        .compare_exchange(me, warm, Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(me, warm, Ordering::Release, Ordering::Relaxed)
                         .is_ok()
                     {
-                        self.reprovisions.fetch_add(1, Ordering::Relaxed);
+                        self.ncr.reprovisions.bump();
                         // The newcomer's node becomes the de-facto home.
-                        self.home.store((*warm).numa.get(), Ordering::Relaxed);
+                        self.ncr.home.store((*warm).numa.get(), Ordering::Relaxed);
                         (*warm).cell.signal();
                         free_node(me);
                         return;
@@ -287,7 +308,7 @@ unsafe impl RawLock for McsCrnLock {
                 } else {
                     if self
                         .tail
-                        .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(me, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
                         .is_ok()
                     {
                         free_node(me);
@@ -299,11 +320,14 @@ unsafe impl RawLock for McsCrnLock {
 
             // NUMA culling: if the successor is remote *and* not the
             // tail (work conservation needs somebody left), cull it.
-            let home = self.home.load(Ordering::Relaxed);
-            if (*succ).numa.get() != home && succ != self.tail.load(Ordering::Acquire) {
+            // The Relaxed tail load is safe for the same reason as in
+            // McsCrLock::unlock: `succ`'s arrival happened-before this
+            // load, so we cannot observe a tail older than `succ`.
+            let home = self.ncr.home.load(Ordering::Relaxed);
+            if (*succ).numa.get() != home && succ != self.tail.load(Ordering::Relaxed) {
                 let next = wait_link(succ);
                 remote.push_head(succ);
-                self.remote_culls.fetch_add(1, Ordering::Relaxed);
+                self.ncr.remote_culls.bump();
                 succ = next;
             }
 

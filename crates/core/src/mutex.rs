@@ -66,6 +66,7 @@ impl<T, L: RawLock> Mutex<T, L> {
 
 impl<T: ?Sized, L: RawLock> Mutex<T, L> {
     /// Acquires the lock, blocking per the algorithm's waiting policy.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T, L> {
         self.raw.lock();
         MutexGuard {
@@ -75,6 +76,7 @@ impl<T: ?Sized, L: RawLock> Mutex<T, L> {
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T, L>> {
         if self.raw.try_lock() {
             Some(MutexGuard {
@@ -127,6 +129,7 @@ unsafe impl<T: ?Sized + Sync, L: RawLock> Sync for MutexGuard<'_, T, L> {}
 impl<T: ?Sized, L: RawLock> Deref for MutexGuard<'_, T, L> {
     type Target = T;
 
+    #[inline]
     fn deref(&self) -> &T {
         // SAFETY: the guard proves the raw lock is held by us.
         unsafe { &*self.mutex.data.get() }
@@ -134,6 +137,7 @@ impl<T: ?Sized, L: RawLock> Deref for MutexGuard<'_, T, L> {
 }
 
 impl<T: ?Sized, L: RawLock> DerefMut for MutexGuard<'_, T, L> {
+    #[inline]
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: the guard proves exclusive access.
         unsafe { &mut *self.mutex.data.get() }
@@ -141,6 +145,7 @@ impl<T: ?Sized, L: RawLock> DerefMut for MutexGuard<'_, T, L> {
 }
 
 impl<T: ?Sized, L: RawLock> Drop for MutexGuard<'_, T, L> {
+    #[inline]
     fn drop(&mut self) {
         // SAFETY: this guard was created by a successful acquisition
         // on this thread and is dropped exactly once.

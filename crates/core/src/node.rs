@@ -1,15 +1,25 @@
-//! Queue nodes shared by the MCS-family locks, with per-thread caching.
+//! Queue nodes shared by the MCS-family locks, with a per-thread arena.
 //!
 //! MCS, MCSCR and MCSCRN all enqueue one node per acquisition. Because
 //! [`RawLock`](crate::RawLock) carries no guard token, nodes live on
-//! the heap rather than the waiter's stack; a thread-local free list
+//! the heap rather than the waiter's stack; a thread-local arena
 //! amortizes the allocation to nearly nothing on the hot path. A node's
 //! embedded [`WaitCell`] is bound to its creating thread, which is why
-//! the cache must be (and is) thread-local.
+//! the arena must be (and is) thread-local.
+//!
+//! # Hot-path discipline
+//!
+//! The arena is designed so `lock()` costs exactly **one** TLS access:
+//! the free list and the thread's NUMA id live in the same
+//! thread-local [`NodeArena`], and nodes are **sanitized on `free`**
+//! (wait cell rearmed, links nulled) rather than on `alloc`, so
+//! [`alloc_node`] is a pop plus one `Cell` store of the NUMA id.
+//! Initializing the TLS slot on first use also registers the arena's
+//! destructor, so thread exit reclaims every cached node.
 
 use std::cell::{Cell, RefCell};
 use std::ptr;
-use std::sync::atomic::AtomicPtr;
+use std::sync::atomic::{AtomicPtr, Ordering};
 
 use malthus_park::WaitCell;
 
@@ -20,6 +30,14 @@ use malthus_park::WaitCell;
 /// list — the passive set for MCSCR, the remote set for MCSCRN — and
 /// are only ever touched by the current lock holder. `numa` is the
 /// arriving thread's NUMA node id, used by MCSCRN's culling criterion.
+///
+/// The node is aligned (hence padded) to 128 bytes so that two nodes
+/// never share a cache line or a prefetch pair: a waiter spins on its
+/// own node's `cell` while its predecessor's arrival-time `next` store
+/// and the owner's unlock-time reads land on *other* nodes, and
+/// unpadded adjacent nodes would turn that private spin into coherence
+/// ping-pong (§3's collapse mechanism in miniature).
+#[repr(align(128))]
 pub(crate) struct QNode {
     pub(crate) cell: WaitCell,
     pub(crate) next: AtomicPtr<QNode>,
@@ -40,12 +58,48 @@ impl QNode {
     }
 }
 
-/// Per-thread node free list; reclaims its contents at thread exit.
-struct NodeCache(RefCell<Vec<*mut QNode>>);
+/// How many quiescent nodes a thread retains before overflowing to the
+/// global allocator.
+const CACHE_CAP: usize = 32;
 
-impl Drop for NodeCache {
+/// Per-thread node arena; one TLS access yields a sanitized node plus
+/// the thread's NUMA id. Reclaims its contents at thread exit.
+struct NodeArena {
+    free: RefCell<Vec<*mut QNode>>,
+    numa: Cell<u32>,
+}
+
+impl NodeArena {
+    /// Pops a pre-sanitized cached node, or allocates a fresh one.
+    fn acquire(&self) -> *mut QNode {
+        let node = self
+            .free
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| Box::into_raw(Box::new(QNode::new())));
+        // Nodes are sanitized when freed; only the NUMA id can have
+        // changed since then.
+        // SAFETY: the node came from this thread's arena or a fresh
+        // Box; no other thread references it.
+        unsafe { (*node).numa.set(self.numa.get()) };
+        node
+    }
+
+    /// Caches a sanitized node; returns it back if the arena is full.
+    fn release(&self, node: *mut QNode) -> Option<*mut QNode> {
+        let mut free = self.free.borrow_mut();
+        if free.len() < CACHE_CAP {
+            free.push(node);
+            None
+        } else {
+            Some(node)
+        }
+    }
+}
+
+impl Drop for NodeArena {
     fn drop(&mut self) {
-        for node in self.0.borrow_mut().drain(..) {
+        for node in self.free.borrow_mut().drain(..) {
             // SAFETY: cached nodes are quiescent and owned by this
             // thread; they were created by `Box::into_raw`.
             drop(unsafe { Box::from_raw(node) });
@@ -54,45 +108,43 @@ impl Drop for NodeCache {
 }
 
 thread_local! {
-    static NODE_CACHE: NodeCache = const { NodeCache(RefCell::new(Vec::new())) };
-    static CURRENT_NUMA: Cell<u32> = const { Cell::new(0) };
+    static NODE_ARENA: NodeArena = const {
+        NodeArena {
+            free: RefCell::new(Vec::new()),
+            numa: Cell::new(0),
+        }
+    };
 }
 
 /// Declares the calling thread's NUMA node id for MCSCRN culling.
 ///
 /// Defaults to node 0. On a real deployment this would query the OS
-/// (e.g. `getcpu`); tests and benchmarks assign ids explicitly.
+/// (e.g. `getcpu`); tests and benchmarks assign ids explicitly. A call
+/// during thread teardown (TLS destroyed) is ignored.
 pub fn set_current_numa_node(node: u32) {
-    CURRENT_NUMA.with(|c| c.set(node));
+    let _ = NODE_ARENA.try_with(|a| a.numa.set(node));
 }
 
-/// Returns the calling thread's declared NUMA node id.
+/// Returns the calling thread's declared NUMA node id (0 during
+/// thread teardown).
 pub fn current_numa_node() -> u32 {
-    CURRENT_NUMA.with(|c| c.get())
+    NODE_ARENA.try_with(|a| a.numa.get()).unwrap_or(0)
 }
 
 /// Allocates (or reuses) a node owned by the calling thread.
 ///
 /// The returned node has a fresh (unsignalled) wait cell, a null
-/// `next`, clear list links, and the caller's NUMA id.
+/// `next`, clear list links, and the caller's NUMA id. Exactly one
+/// thread-local access.
 pub(crate) fn alloc_node() -> *mut QNode {
-    let node = NODE_CACHE
-        .try_with(|c| c.0.borrow_mut().pop())
-        .ok()
-        .flatten()
-        .unwrap_or_else(|| Box::into_raw(Box::new(QNode::new())));
-    // SAFETY: the node came from this thread's cache or a fresh Box;
-    // no other thread references it.
-    unsafe {
-        (*node).next.store(ptr::null_mut(), std::sync::atomic::Ordering::Relaxed);
-        (*node).pprev.set(ptr::null_mut());
-        (*node).pnext.set(ptr::null_mut());
-        (*node).numa.set(current_numa_node());
-    }
-    node
+    NODE_ARENA
+        .try_with(NodeArena::acquire)
+        // TLS already destroyed (thread exiting): fresh heap node.
+        .unwrap_or_else(|_| Box::into_raw(Box::new(QNode::new())))
 }
 
-/// Returns a quiescent node to the calling thread's cache.
+/// Sanitizes a quiescent node and returns it to the calling thread's
+/// arena (or the allocator if the arena is full or gone).
 ///
 /// # Safety
 ///
@@ -101,33 +153,22 @@ pub(crate) fn alloc_node() -> *mut QNode {
 /// calling thread is the one that allocated it (the wait cell is bound
 /// to it).
 pub(crate) unsafe fn free_node(node: *mut QNode) {
-    const CACHE_CAP: usize = 32;
+    // Sanitize now so the next `alloc_node` is a bare pop.
     // SAFETY: per the contract, we have exclusive access.
     unsafe {
         (*node).cell.reset();
+        (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+        (*node).pprev.set(ptr::null_mut());
+        (*node).pnext.set(ptr::null_mut());
     }
-    let overflow = NODE_CACHE
-        .try_with(|c| {
-            let mut cache = c.0.borrow_mut();
-            if cache.len() < CACHE_CAP {
-                cache.push(node);
-                None
-            } else {
-                Some(node)
-            }
-        })
+    let overflow = NODE_ARENA
+        .try_with(|a| a.release(node))
         // TLS already destroyed (thread exiting): free directly.
         .unwrap_or(Some(node));
     if let Some(node) = overflow {
         // SAFETY: exclusive access; the node was created by Box::into_raw.
         drop(unsafe { Box::from_raw(node) });
     }
-}
-
-/// Forces initialization of the thread's cache so its destructor is
-/// registered before any nodes can be cached.
-pub(crate) fn ensure_reaper() {
-    let _ = NODE_CACHE.try_with(|_| {});
 }
 
 #[cfg(test)]
@@ -148,6 +189,12 @@ mod tests {
     }
 
     #[test]
+    fn qnode_is_cache_line_padded() {
+        assert!(std::mem::align_of::<QNode>() >= 128);
+        assert_eq!(std::mem::size_of::<QNode>() % 128, 0);
+    }
+
+    #[test]
     fn cache_reuses_nodes() {
         let a = alloc_node();
         // SAFETY: owned by this thread, quiescent.
@@ -156,6 +203,30 @@ mod tests {
         assert_eq!(a, b, "expected the cached node back");
         // SAFETY: owned by this thread, quiescent.
         unsafe { free_node(b) };
+    }
+
+    #[test]
+    fn cache_reuse_across_reentrant_alloc() {
+        // Two live nodes at once (as in a lock()-within-signal window),
+        // freed in FIFO order, must both round-trip through the arena.
+        let a = alloc_node();
+        let b = alloc_node();
+        assert_ne!(a, b);
+        // SAFETY: both owned by this thread, quiescent.
+        unsafe {
+            free_node(a);
+            free_node(b);
+        }
+        let c = alloc_node();
+        let d = alloc_node();
+        assert!(c == a || c == b);
+        assert!(d == a || d == b);
+        assert_ne!(c, d);
+        // SAFETY: owned by this thread, quiescent.
+        unsafe {
+            free_node(c);
+            free_node(d);
+        }
     }
 
     #[test]
@@ -175,6 +246,38 @@ mod tests {
             assert!((*b).pnext.get().is_null());
             free_node(b);
         }
+    }
+
+    #[test]
+    fn cache_cap_overflow_falls_back_to_box_drop() {
+        // Hold CACHE_CAP + 8 live nodes, then free them all: the first
+        // CACHE_CAP land in the arena, the rest take the Box-drop path.
+        // (Leaks would be caught by Miri / LeakSanitizer.)
+        let nodes: Vec<_> = (0..CACHE_CAP + 8).map(|_| alloc_node()).collect();
+        for &n in &nodes {
+            // SAFETY: owned by this thread, quiescent.
+            unsafe { free_node(n) };
+        }
+        // The arena is now exactly full; another round trip still works.
+        let n = alloc_node();
+        // SAFETY: owned by this thread, quiescent.
+        unsafe { free_node(n) };
+    }
+
+    #[test]
+    fn thread_exit_reclaims_cached_nodes() {
+        // A thread that caches nodes and exits must not leak them: the
+        // arena destructor runs at thread exit (verified under Miri,
+        // which reports leaks; see README "Miri" section).
+        std::thread::spawn(|| {
+            let nodes: Vec<_> = (0..8).map(|_| alloc_node()).collect();
+            for &n in &nodes {
+                // SAFETY: owned by this thread, quiescent.
+                unsafe { free_node(n) };
+            }
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

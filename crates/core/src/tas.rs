@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use malthus_park::{cpu_relax, Backoff, XorShift64};
+use malthus_park::{Backoff, SpinThenYield, XorShift64};
 
 use crate::raw::RawLock;
 
@@ -43,6 +43,7 @@ impl TasLock {
 // Release ordering pairing with the acquirers' Acquire.
 unsafe impl RawLock for TasLock {
     fn lock(&self) {
+        let mut spin = SpinThenYield::new();
         loop {
             // Test-and-test-and-set: poll with plain loads first so the
             // line stays shared until it is plausibly free.
@@ -54,7 +55,7 @@ unsafe impl RawLock for TasLock {
             {
                 return;
             }
-            cpu_relax();
+            spin.pause();
         }
     }
 
@@ -112,9 +113,13 @@ unsafe impl RawLock for TatasLock {
         }
         let seed = XorShift64::from_entropy().next_u64();
         let mut backoff = Backoff::for_tas(seed);
+        // The randomized backoff decorrelates waiters; the yield helper
+        // additionally cedes the CPU once the host is oversubscribed.
+        let mut spin = SpinThenYield::new();
         loop {
             while self.held.load(Ordering::Relaxed) {
                 backoff.pause();
+                spin.pause();
             }
             if self.try_acquire() {
                 return;

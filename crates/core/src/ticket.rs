@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use malthus_park::cpu_relax;
+use malthus_park::{cpu_relax, SpinThenYield};
 
 use crate::raw::RawLock;
 
@@ -54,6 +54,7 @@ impl TicketLock {
 unsafe impl RawLock for TicketLock {
     fn lock(&self) {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spin = SpinThenYield::new();
         while self.serving.load(Ordering::Acquire) != ticket {
             // Proportional backoff: pause roughly in proportion to our
             // distance from service to cut polling traffic.
@@ -61,7 +62,7 @@ unsafe impl RawLock for TicketLock {
             for _ in 0..dist.min(64) {
                 cpu_relax();
             }
-            cpu_relax();
+            spin.pause();
         }
     }
 

@@ -201,7 +201,9 @@ impl Simulation {
         let core = tid % self.machine.cores;
         self.threads.push(Thread {
             workload,
-            rng: XorShift64::new(0x9E37_79B9 ^ (tid as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)),
+            rng: XorShift64::new(
+                0x9E37_79B9 ^ (tid as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+            ),
             iterations: 0,
             state: TState::Parked,
             waiting_on: None,
@@ -548,11 +550,7 @@ impl Simulation {
             sim_seconds,
             total_iterations: self.total_iterations,
             per_thread_iterations: self.threads.iter().map(|t| t.iterations).collect(),
-            admissions: self
-                .locks
-                .iter()
-                .map(|l| l.admissions().to_vec())
-                .collect(),
+            admissions: self.locks.iter().map(|l| l.admissions().to_vec()).collect(),
             lock_stats: self.locks.iter().map(|l| l.stats()).collect(),
             voluntary_parks: self.voluntary_parks,
             unpark_calls: self.unpark_calls,
@@ -629,11 +627,7 @@ mod tests {
             wait,
         });
         for _ in 0..threads {
-            sim.add_thread(Box::new(LockLoop {
-                step: 0,
-                cs,
-                ncs,
-            }));
+            sim.add_thread(Box::new(LockLoop { step: 0, cs, ncs }));
         }
         sim.run(0.002)
     }
@@ -648,11 +642,7 @@ mod tests {
             wait,
         });
         for _ in 0..threads {
-            sim.add_thread(Box::new(LockLoop {
-                step: 0,
-                cs,
-                ncs,
-            }));
+            sim.add_thread(Box::new(LockLoop { step: 0, cs, ncs }));
         }
         sim.run(0.04)
     }

@@ -181,7 +181,7 @@ impl SimLock {
                 } else {
                     let succ = self.queue.pop_front();
                     if let Some(succ) = succ {
-                        if should_cull(self.queue.len() + 1) && self.queue.len() >= 1 + cull_slack {
+                        if should_cull(self.queue.len() + 1) && self.queue.len() > cull_slack {
                             // Surplus: passivate the longest waiter and
                             // grant the next one, exactly as MCSCR
                             // excises the first intermediate node.

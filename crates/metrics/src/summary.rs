@@ -103,7 +103,11 @@ mod tests {
             }
         }
         let s = FairnessSummary::from_log(&AdmissionLog::from_history(history));
-        assert!(s.average_lwss < 16.0, "LWSS should be small: {}", s.average_lwss);
+        assert!(
+            s.average_lwss < 16.0,
+            "LWSS should be small: {}",
+            s.average_lwss
+        );
         assert_eq!(s.mttr, Some(5.0));
         assert!(s.gini > 0.5, "unequal work must show in Gini: {}", s.gini);
     }

@@ -46,7 +46,7 @@ pub mod stats;
 mod waitcell;
 
 pub use backoff::Backoff;
-pub use parker::{Parker, ParkResult, Unparker};
+pub use parker::{ParkResult, Parker, Unparker};
 pub use rng::XorShift64;
-pub use spin::{cpu_relax, polite_spin, SpinWait};
+pub use spin::{cpu_relax, polite_spin, SpinThenYield, SpinWait, SPIN_YIELD_BUDGET};
 pub use waitcell::{WaitCell, WaitOutcome, WaitPolicy, DEFAULT_SPIN_CYCLES};

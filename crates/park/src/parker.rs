@@ -98,12 +98,11 @@ impl Parker {
         let mut guard = self.inner.lock.lock().expect("parker mutex poisoned");
         // Publish that we are about to block. If an unpark raced in
         // between the fast path and taking the mutex, consume it.
-        match self.inner.state.compare_exchange(
-            EMPTY,
-            PARKED,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
+        match self
+            .inner
+            .state
+            .compare_exchange(EMPTY, PARKED, Ordering::SeqCst, Ordering::SeqCst)
+        {
             Ok(_) => {}
             Err(actual) => {
                 debug_assert_eq!(actual, NOTIFIED);
@@ -149,12 +148,11 @@ impl Parker {
         }
 
         let mut guard = self.inner.lock.lock().expect("parker mutex poisoned");
-        match self.inner.state.compare_exchange(
-            EMPTY,
-            PARKED,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
+        match self
+            .inner
+            .state
+            .compare_exchange(EMPTY, PARKED, Ordering::SeqCst, Ordering::SeqCst)
+        {
             Ok(_) => {}
             Err(_) => {
                 self.inner.state.store(EMPTY, Ordering::SeqCst);

@@ -20,6 +20,50 @@ pub fn polite_spin(iterations: u32) {
     }
 }
 
+/// Polite pauses executed by an unbounded waiter before it starts
+/// interleaving voluntary yields.
+///
+/// Pure `PAUSE` spinning assumes the signalling thread runs on another
+/// CPU. On an oversubscribed host (more runnable threads than CPUs —
+/// the extreme case being a single-CPU CI container) the signaller may
+/// be *descheduled*, and a waiter that never yields burns its entire
+/// scheduling quantum before the signaller can make progress, turning
+/// every handoff into a multi-millisecond stall. After this budget the
+/// waiter cedes its timeslice each iteration instead, which is free
+/// when the system is undersubscribed (the budget is rarely exhausted)
+/// and essential when it is not.
+pub const SPIN_YIELD_BUDGET: u32 = 256;
+
+/// An unbounded-wait helper: polite pauses up to
+/// [`SPIN_YIELD_BUDGET`], voluntary `yield_now` afterwards.
+///
+/// Use this for spin loops with no upper bound (waiting for a lock
+/// handoff or a queue link); use [`SpinWait`] for short bounded waits
+/// where the awaited store is known to be imminent.
+#[derive(Debug, Default)]
+pub struct SpinThenYield {
+    spins: u32,
+}
+
+impl SpinThenYield {
+    /// Creates a fresh helper with a full pause budget.
+    pub const fn new() -> Self {
+        SpinThenYield { spins: 0 }
+    }
+
+    /// Waits one step: a polite pause while the budget lasts, a
+    /// voluntary yield once it is exhausted.
+    #[inline]
+    pub fn pause(&mut self) {
+        if self.spins < SPIN_YIELD_BUDGET {
+            self.spins += 1;
+            cpu_relax();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// An adaptive local-spin helper with an escalating pause count.
 ///
 /// Intended for *local* spinning on a flag the current thread owns
@@ -84,5 +128,15 @@ mod tests {
     #[test]
     fn polite_spin_zero_is_noop() {
         polite_spin(0);
+    }
+
+    #[test]
+    fn spin_then_yield_survives_many_iterations() {
+        // Exhausts the pause budget and crosses into yielding without
+        // blocking or panicking.
+        let mut s = SpinThenYield::new();
+        for _ in 0..(SPIN_YIELD_BUDGET + 16) {
+            s.pause();
+        }
     }
 }

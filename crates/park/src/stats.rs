@@ -7,12 +7,35 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-static VOLUNTARY_PARKS: AtomicU64 = AtomicU64::new(0);
-static PARK_FAST_PATHS: AtomicU64 = AtomicU64::new(0);
-static UNPARK_NOTIFIES: AtomicU64 = AtomicU64::new(0);
-static UNPARK_FAST_PATHS: AtomicU64 = AtomicU64::new(0);
-static SPIN_SUCCESSES: AtomicU64 = AtomicU64::new(0);
-static SPIN_FAILURES: AtomicU64 = AtomicU64::new(0);
+/// A counter alone on its cache line (and prefetch pair): these six
+/// statics are bumped from unrelated threads' wait/wake paths, and
+/// unpadded adjacent statics would turn independent counters into one
+/// ping-ponging line.
+#[repr(align(128))]
+struct PaddedCounter(AtomicU64);
+
+impl PaddedCounter {
+    const fn new() -> Self {
+        PaddedCounter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+static VOLUNTARY_PARKS: PaddedCounter = PaddedCounter::new();
+static PARK_FAST_PATHS: PaddedCounter = PaddedCounter::new();
+static UNPARK_NOTIFIES: PaddedCounter = PaddedCounter::new();
+static UNPARK_FAST_PATHS: PaddedCounter = PaddedCounter::new();
+static SPIN_SUCCESSES: PaddedCounter = PaddedCounter::new();
+static SPIN_FAILURES: PaddedCounter = PaddedCounter::new();
 
 /// A point-in-time copy of all waiting counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,37 +78,37 @@ impl Snapshot {
 /// Returns a copy of the current counter values.
 pub fn snapshot() -> Snapshot {
     Snapshot {
-        voluntary_parks: VOLUNTARY_PARKS.load(Ordering::Relaxed),
-        park_fast_paths: PARK_FAST_PATHS.load(Ordering::Relaxed),
-        unpark_notifies: UNPARK_NOTIFIES.load(Ordering::Relaxed),
-        unpark_fast_paths: UNPARK_FAST_PATHS.load(Ordering::Relaxed),
-        spin_successes: SPIN_SUCCESSES.load(Ordering::Relaxed),
-        spin_failures: SPIN_FAILURES.load(Ordering::Relaxed),
+        voluntary_parks: VOLUNTARY_PARKS.get(),
+        park_fast_paths: PARK_FAST_PATHS.get(),
+        unpark_notifies: UNPARK_NOTIFIES.get(),
+        unpark_fast_paths: UNPARK_FAST_PATHS.get(),
+        spin_successes: SPIN_SUCCESSES.get(),
+        spin_failures: SPIN_FAILURES.get(),
     }
 }
 
 pub(crate) fn record_voluntary_park() {
-    VOLUNTARY_PARKS.fetch_add(1, Ordering::Relaxed);
+    VOLUNTARY_PARKS.bump();
 }
 
 pub(crate) fn record_park_fast_path() {
-    PARK_FAST_PATHS.fetch_add(1, Ordering::Relaxed);
+    PARK_FAST_PATHS.bump();
 }
 
 pub(crate) fn record_unpark_notify() {
-    UNPARK_NOTIFIES.fetch_add(1, Ordering::Relaxed);
+    UNPARK_NOTIFIES.bump();
 }
 
 pub(crate) fn record_unpark_fast_path() {
-    UNPARK_FAST_PATHS.fetch_add(1, Ordering::Relaxed);
+    UNPARK_FAST_PATHS.bump();
 }
 
 pub(crate) fn record_spin_success() {
-    SPIN_SUCCESSES.fetch_add(1, Ordering::Relaxed);
+    SPIN_SUCCESSES.bump();
 }
 
 pub(crate) fn record_spin_failure() {
-    SPIN_FAILURES.fetch_add(1, Ordering::Relaxed);
+    SPIN_FAILURES.bump();
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::parker::{Parker, Unparker};
-use crate::spin::cpu_relax;
+use crate::spin::{cpu_relax, SpinThenYield};
 use crate::stats;
 
 thread_local! {
@@ -175,18 +175,45 @@ impl WaitCell {
         }
         match policy {
             WaitPolicy::Spin => {
+                // "Unbounded polite spinning" still yields once the
+                // pause budget is spent so an oversubscribed host (or
+                // single-CPU CI) can schedule the signaller.
+                let mut spin = SpinThenYield::new();
                 while self.state.load(Ordering::Acquire) != SIGNALED {
-                    cpu_relax();
+                    spin.pause();
                 }
                 WaitOutcome::Spun
             }
             WaitPolicy::SpinThenPark { spin_iterations } => {
-                for _ in 0..spin_iterations {
+                // The paper calibrates the spin budget to roughly one
+                // context-switch round trip (§5.1). We pause politely
+                // for the budget (capped at SPIN_YIELD_BUDGET — beyond
+                // that a pause loop far exceeds a switch round trip),
+                // then yield a few times: a yield that actually
+                // switches has already paid the cost parking would
+                // amortize, and on an oversubscribed host it is the
+                // only way the signaller can run at all. Only then
+                // park.
+                const YIELD_ATTEMPTS: u32 = 8;
+                let pauses = spin_iterations.min(crate::spin::SPIN_YIELD_BUDGET);
+                for _ in 0..pauses {
                     if self.state.load(Ordering::Acquire) == SIGNALED {
                         stats::record_spin_success();
                         return WaitOutcome::Spun;
                     }
                     cpu_relax();
+                }
+                let yields = (spin_iterations - pauses).min(YIELD_ATTEMPTS);
+                for _ in 0..yields {
+                    if self.state.load(Ordering::Acquire) == SIGNALED {
+                        stats::record_spin_success();
+                        return WaitOutcome::Spun;
+                    }
+                    std::thread::yield_now();
+                }
+                if self.state.load(Ordering::Acquire) == SIGNALED {
+                    stats::record_spin_success();
+                    return WaitOutcome::Spun;
                 }
                 stats::record_spin_failure();
                 self.park_slow()

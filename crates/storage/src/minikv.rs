@@ -80,7 +80,7 @@ impl MiniKv {
         for (run_idx, run) in self.runs.iter().enumerate() {
             // One cache lookup per run consulted: block id = run plus
             // the key's block within the run.
-            let block = (run_idx as u32) << 24 | ((key as u32) & 0x00FF_FFFF) / 64;
+            let block = ((run_idx as u32) << 24) | (((key as u32) & 0x00FF_FFFF) / 64);
             cache.lookup_or_insert(block, thread);
             if let Ok(pos) = run.binary_search_by_key(&key, |&(k, _)| k) {
                 return Some(run[pos].1);

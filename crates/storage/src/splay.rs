@@ -212,10 +212,7 @@ impl SplayArena {
     /// Removes the free block starting exactly at `offset` from the
     /// splay tree, if present.
     fn try_remove_free_at(&mut self, offset: u64) -> Option<Block> {
-        fn walk(
-            node: &mut Option<Box<SplayNode>>,
-            offset: u64,
-        ) -> Option<Block> {
+        fn walk(node: &mut Option<Box<SplayNode>>, offset: u64) -> Option<Block> {
             let n = node.as_mut()?;
             if n.offset == offset {
                 let detached = node.take().expect("present");
@@ -330,10 +327,7 @@ fn insert_node(root: Option<Box<SplayNode>>, node: Box<SplayNode>) -> Box<SplayN
 /// Joins two subtrees where all keys in `left` < all keys in `right`:
 /// the maximum of `left` is rotated to its root, whose (now empty)
 /// right child receives `right`.
-fn join(
-    left: Option<Box<SplayNode>>,
-    right: Option<Box<SplayNode>>,
-) -> Option<Box<SplayNode>> {
+fn join(left: Option<Box<SplayNode>>, right: Option<Box<SplayNode>>) -> Option<Box<SplayNode>> {
     match (left, right) {
         (None, r) => r,
         (l, None) => l,

@@ -5,8 +5,10 @@ fn main() {
         let cr = prodcons::sim(p, LockChoice::McsCrStp).run(0.01);
         let fm = prodcons::messages(&fifo, p);
         let cm = prodcons::messages(&cr, p);
-        println!("producers={p:3}  FIFO={fm:7} ({:.2} acq/msg)  CR={cm:7} ({:.2} acq/msg)",
+        println!(
+            "producers={p:3}  FIFO={fm:7} ({:.2} acq/msg)  CR={cm:7} ({:.2} acq/msg)",
             fifo.admissions[0].len() as f64 / fm.max(1) as f64,
-            cr.admissions[0].len() as f64 / cm.max(1) as f64);
+            cr.admissions[0].len() as f64 / cm.max(1) as f64
+        );
     }
 }

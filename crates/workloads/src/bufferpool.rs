@@ -124,7 +124,7 @@ impl SimWorkload for PoolThread {
 /// is unbounded spinning as in §6.11.
 pub fn sim_with_prepend(threads: usize, prepend_probability: f64) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(LockChoice::McsS.spec(0xF16_14));
+    sim.add_lock(LockChoice::McsS.spec(0xF1614));
     sim.add_condvar(CvSpec {
         prepend_probability,
         seed: 0x14,

@@ -85,10 +85,7 @@ impl LockChoice {
     pub fn is_cr(&self) -> bool {
         matches!(
             self,
-            LockChoice::McsCrS
-                | LockChoice::McsCrStp
-                | LockChoice::LifoCrS
-                | LockChoice::LifoCrStp
+            LockChoice::McsCrS | LockChoice::McsCrStp | LockChoice::LifoCrS | LockChoice::LifoCrStp
         )
     }
 }
@@ -107,7 +104,9 @@ mod tests {
     #[test]
     fn figure_set_has_four_series() {
         assert_eq!(LockChoice::FIGURE_SET.len(), 4);
-        assert!(LockChoice::FIGURE_SET.iter().all(|c| *c != LockChoice::Null));
+        assert!(LockChoice::FIGURE_SET
+            .iter()
+            .all(|c| *c != LockChoice::Null));
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl SimWorkload for KcThread {
 /// Builds the Figure 9 simulation.
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_9));
+    sim.add_lock(lock.spec(0xF169));
     for _ in 0..threads {
         sim.add_thread(Box::new(KcThread { step: 0 }));
     }

@@ -42,7 +42,7 @@ pub struct KeymapThread {
 impl KeymapThread {
     /// Creates a thread with a pre-initialized random keyset.
     pub fn new(tid: usize) -> Self {
-        let rng = XorShift64::new(0x4B11 ^ (tid as u64 + 1) * 0x9E37_79B9);
+        let rng = XorShift64::new(0x4B11 ^ ((tid as u64 + 1) * 0x9E37_79B9));
         let keys = (0..KEYSET).map(|_| rng.next_below(KEY_RANGE)).collect();
         KeymapThread {
             step: 0,
@@ -96,7 +96,7 @@ impl SimWorkload for KeymapThread {
 /// Builds the Figure 11 simulation.
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_11));
+    sim.add_lock(lock.spec(0xF1611));
     for t in 0..threads {
         sim.add_thread(Box::new(KeymapThread::new(t)));
     }
@@ -122,11 +122,7 @@ mod tests {
                 let _ = t.next_action(&mut ctx);
             }
         }
-        let changed = before
-            .iter()
-            .zip(&t.keys)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = before.iter().zip(&t.keys).filter(|(a, b)| a != b).count();
         // ~10% replacement over 100 iterations: expect ~10 slots, far
         // fewer than 50.
         assert!(changed < 50, "too many replacements: {changed}");

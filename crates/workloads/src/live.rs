@@ -36,23 +36,16 @@ pub fn run_lock_loop<L: RawLock + 'static>(
 ) -> u64 {
     let stop = Arc::new(AtomicBool::new(false));
     let total = Arc::new(AtomicU64::new(0));
-    let shared: Arc<Vec<u32>> = Arc::new(
-        (0..shape.cs_array_bytes / 4)
-            .map(|i| i as u32)
-            .collect(),
-    );
+    let shared: Arc<Vec<u32>> = Arc::new((0..shape.cs_array_bytes / 4).map(|i| i as u32).collect());
     let mut handles = Vec::new();
     for t in 0..threads {
         let lock = Arc::clone(&lock);
         let stop = Arc::clone(&stop);
         let total = Arc::clone(&total);
         let shared = Arc::clone(&shared);
-        let shape = shape;
         handles.push(std::thread::spawn(move || {
             let rng = XorShift64::new(0xBEEF ^ t as u64);
-            let private: Vec<u32> = (0..shape.ncs_array_bytes / 4)
-                .map(|i| i as u32)
-                .collect();
+            let private: Vec<u32> = (0..shape.ncs_array_bytes / 4).map(|i| i as u32).collect();
             let mut sink = 0u32;
             let mut iters = 0u64;
             while !stop.load(Ordering::Relaxed) {

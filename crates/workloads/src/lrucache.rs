@@ -53,7 +53,7 @@ pub struct LruThread {
 impl LruThread {
     /// Creates a thread sharing `cache`.
     pub fn new(tid: usize, cache: Arc<StdMutex<SimpleLru>>) -> Self {
-        let rng = XorShift64::new(0x12C4 ^ (tid as u64 + 1) * 0xA076_1D64);
+        let rng = XorShift64::new(0x12C4 ^ ((tid as u64 + 1) * 0xA076_1D64));
         let keys = (0..KEYSET).map(|_| rng.next_below(KEY_RANGE)).collect();
         LruThread {
             step: 0,
@@ -102,12 +102,9 @@ impl SimWorkload for LruThread {
 
 /// Builds the Figure 12 simulation; returns the sim plus a handle to
 /// the shared cache for miss-rate inspection.
-pub fn sim_with_cache(
-    threads: usize,
-    lock: LockChoice,
-) -> (Simulation, Arc<StdMutex<SimpleLru>>) {
+pub fn sim_with_cache(threads: usize, lock: LockChoice) -> (Simulation, Arc<StdMutex<SimpleLru>>) {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_12));
+    sim.add_lock(lock.spec(0xF1612));
     let cache = Arc::new(StdMutex::new(SimpleLru::new(CAPACITY)));
     for t in 0..threads {
         sim.add_thread(Box::new(LruThread::new(t, Arc::clone(&cache))));

@@ -153,7 +153,7 @@ impl SimWorkload for MmicroThread {
 /// Builds the Figure 7 simulation.
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_7));
+    sim.add_lock(lock.spec(0xF167));
     for _ in 0..threads {
         sim.add_thread(Box::new(MmicroThread::new()));
     }

@@ -109,7 +109,7 @@ impl SimWorkload for PerlThread {
 /// a classic MCS (FIFO), as in the paper.
 pub fn sim(threads: usize, mostly_lifo: bool) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(LockChoice::McsS.spec(0xF16_13));
+    sim.add_lock(LockChoice::McsS.spec(0xF1613));
     sim.add_condvar(CvSpec {
         prepend_probability: if mostly_lifo { 0.999 } else { 0.0 },
         seed: 0x13,

@@ -135,7 +135,7 @@ impl SimWorkload for Consumer {
 /// condvar implementation); the CR effect enters through the lock.
 pub fn sim(producers: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_10));
+    sim.add_lock(lock.spec(0xF1610));
     for cv_seed in [1u64, 2] {
         sim.add_condvar(malthus_machinesim::CvSpec {
             prepend_probability: 0.0,
@@ -196,8 +196,7 @@ mod tests {
         let producers = 16;
         let fifo = sim(producers, LockChoice::McsS).run(0.01);
         let cr = sim(producers, LockChoice::McsCrStp).run(0.01);
-        let fifo_per =
-            fifo.admissions[0].len() as f64 / messages(&fifo, producers).max(1) as f64;
+        let fifo_per = fifo.admissions[0].len() as f64 / messages(&fifo, producers).max(1) as f64;
         let cr_per = cr.admissions[0].len() as f64 / messages(&cr, producers).max(1) as f64;
         assert!(
             cr_per < fifo_per,

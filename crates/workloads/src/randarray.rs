@@ -72,7 +72,7 @@ impl SimWorkload for RandArrayThread {
 /// one central lock of the given configuration.
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_3));
+    sim.add_lock(lock.spec(0xF163));
     for _ in 0..threads {
         sim.add_thread(Box::new(RandArrayThread::new()));
     }
@@ -160,10 +160,7 @@ mod tests {
     fn lwss_is_restricted_under_cr() {
         let r = sim(32, LockChoice::McsCrStp).run(0.01);
         let lwss = steady_lwss(&r.admissions[0]);
-        assert!(
-            lwss < 12.0,
-            "CR LWSS should be near saturation, got {lwss}"
-        );
+        assert!(lwss < 12.0, "CR LWSS should be near saturation, got {lwss}");
         let r2 = sim(32, LockChoice::McsS).run(0.01);
         let lwss2 = steady_lwss(&r2.admissions[0]);
         assert!(lwss2 > 28.0, "FIFO LWSS should be ~32, got {lwss2}");

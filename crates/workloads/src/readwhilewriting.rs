@@ -96,8 +96,8 @@ impl SimWorkload for Writer {
 /// (minimum one reader).
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_8)); // DB lock
-    sim.add_lock(lock.spec(0xF16_80)); // cache lock
+    sim.add_lock(lock.spec(0xF168)); // DB lock
+    sim.add_lock(lock.spec(0xF1680)); // cache lock
     let readers = threads.saturating_sub(1).max(1);
     for _ in 0..readers {
         sim.add_thread(Box::new(Reader { step: 0 }));

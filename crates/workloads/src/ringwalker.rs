@@ -88,7 +88,7 @@ impl SimWorkload for RingWalkerThread {
 /// Builds the Figure 5 simulation.
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_5));
+    sim.add_lock(lock.spec(0xF165));
     for _ in 0..threads {
         sim.add_thread(Box::new(RingWalkerThread::new()));
     }

@@ -55,7 +55,7 @@ impl SimWorkload for StressThread {
 /// Builds the Figure 6 simulation.
 pub fn sim(threads: usize, lock: LockChoice) -> Simulation {
     let mut sim = Simulation::new(MachineConfig::t5_socket());
-    sim.add_lock(lock.spec(0xF16_6));
+    sim.add_lock(lock.spec(0xF166));
     for _ in 0..threads {
         sim.add_thread(Box::new(StressThread::new()));
     }

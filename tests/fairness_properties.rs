@@ -1,11 +1,19 @@
-//! Property-based tests of the fairness metrics and CR policy
-//! decisions (proptest).
+//! Property-style tests of the fairness metrics and CR policy
+//! decisions, driven by a deterministic xorshift input generator (the
+//! container has no proptest; seeded exhaustive sweeps stand in).
 
 use std::collections::HashSet;
 
 use malthusian::locks::policy::{AdmissionDiscipline, FairnessTrigger};
 use malthusian::metrics::{gini_coefficient, relative_stddev, AdmissionLog};
-use proptest::prelude::*;
+use malthusian::park::XorShift64;
+
+/// Deterministic random vector in `[0, bound)` of length `len`.
+fn random_history(rng: &mut XorShift64, bound: u32, len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|_| (rng.next_u64() % bound as u64) as u32)
+        .collect()
+}
 
 /// Brute-force LWSS reference: distinct thread ids per window.
 fn lwss_reference(history: &[u32], window: usize) -> f64 {
@@ -26,97 +34,134 @@ fn lwss_reference(history: &[u32], window: usize) -> f64 {
     sizes.iter().sum::<f64>() / sizes.len() as f64
 }
 
-proptest! {
-    #[test]
-    fn lwss_matches_reference(
-        history in proptest::collection::vec(0u32..16, 0..400),
-        window in 1usize..64,
-    ) {
+#[test]
+fn lwss_matches_reference() {
+    let mut rng = XorShift64::new(0x1157);
+    for case in 0..64 {
+        let len = (rng.next_u64() % 400) as usize;
+        let window = 1 + (rng.next_u64() % 63) as usize;
+        let history = random_history(&mut rng, 16, len);
         let log = AdmissionLog::from_history(history.clone());
         let got = log.average_lwss(window);
         let want = lwss_reference(&history, window);
-        prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        assert!(
+            (got - want).abs() < 1e-9,
+            "case {case}: {got} vs {want} (len {len}, window {window})"
+        );
     }
+}
 
-    #[test]
-    fn lwss_never_exceeds_window_or_thread_count(
-        history in proptest::collection::vec(0u32..8, 1..300),
-        window in 1usize..50,
-    ) {
+#[test]
+fn lwss_never_exceeds_window_or_thread_count() {
+    let mut rng = XorShift64::new(0x2257);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() % 299) as usize;
+        let window = 1 + (rng.next_u64() % 49) as usize;
+        let history = random_history(&mut rng, 8, len);
         let log = AdmissionLog::from_history(history.clone());
         let distinct: HashSet<_> = history.iter().collect();
         let lwss = log.average_lwss(window);
-        prop_assert!(lwss <= window as f64 + 1e-9);
-        prop_assert!(lwss <= distinct.len() as f64 + 1e-9);
-        prop_assert!(lwss >= 1.0 - 1e-9);
+        assert!(lwss <= window as f64 + 1e-9);
+        assert!(lwss <= distinct.len() as f64 + 1e-9);
+        assert!(lwss >= 1.0 - 1e-9);
     }
+}
 
-    #[test]
-    fn mttr_is_at_least_one(history in proptest::collection::vec(0u32..6, 0..300)) {
+#[test]
+fn mttr_is_at_least_one() {
+    let mut rng = XorShift64::new(0x3357);
+    for _ in 0..64 {
+        let len = (rng.next_u64() % 300) as usize;
+        let history = random_history(&mut rng, 6, len);
         let log = AdmissionLog::from_history(history);
         if let Some(m) = log.median_time_to_reacquire() {
-            prop_assert!(m >= 1.0);
+            assert!(m >= 1.0);
         }
     }
+}
 
-    #[test]
-    fn ttr_count_is_len_minus_distinct(history in proptest::collection::vec(0u32..6, 0..300)) {
+#[test]
+fn ttr_count_is_len_minus_distinct() {
+    let mut rng = XorShift64::new(0x4457);
+    for _ in 0..64 {
+        let len = (rng.next_u64() % 300) as usize;
+        let history = random_history(&mut rng, 6, len);
         let log = AdmissionLog::from_history(history.clone());
         let distinct: HashSet<_> = history.iter().collect();
-        prop_assert_eq!(
+        assert_eq!(
             log.times_to_reacquire().len(),
             history.len() - distinct.len()
         );
     }
+}
 
-    #[test]
-    fn gini_is_bounded_and_scale_invariant(
-        work in proptest::collection::vec(1u64..10_000, 1..64),
-        scale in 1u64..50,
-    ) {
+#[test]
+fn gini_is_bounded_and_scale_invariant() {
+    let rng = XorShift64::new(0x5557);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() % 63) as usize;
+        let scale = 1 + rng.next_u64() % 49;
+        let work: Vec<u64> = (0..len).map(|_| 1 + rng.next_u64() % 9_999).collect();
         let g = gini_coefficient(&work);
-        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
+        assert!((0.0..1.0).contains(&g), "gini {g}");
         let scaled: Vec<u64> = work.iter().map(|w| w * scale).collect();
         let gs = gini_coefficient(&scaled);
-        prop_assert!((g - gs).abs() < 1e-9);
+        assert!((g - gs).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn rstddev_zero_iff_equal(work in proptest::collection::vec(1u64..1000, 2..32)) {
+#[test]
+fn rstddev_zero_iff_equal() {
+    let rng = XorShift64::new(0x6657);
+    for case in 0..64 {
+        let len = 2 + (rng.next_u64() % 30) as usize;
+        let work: Vec<u64> = if case % 4 == 0 {
+            // Force the all-equal branch regularly.
+            vec![1 + rng.next_u64() % 999; len]
+        } else {
+            (0..len).map(|_| 1 + rng.next_u64() % 999).collect()
+        };
         let r = relative_stddev(&work);
         let all_equal = work.windows(2).all(|w| w[0] == w[1]);
         if all_equal {
-            prop_assert!(r < 1e-12);
+            assert!(r < 1e-12);
         } else {
-            prop_assert!(r > 0.0);
+            assert!(r > 0.0);
         }
     }
+}
 
-    #[test]
-    fn fairness_trigger_rate_tracks_period(period in 2u64..64, seed in 0u64..1000) {
+#[test]
+fn fairness_trigger_rate_tracks_period() {
+    let rng = XorShift64::new(0x7757);
+    for _ in 0..24 {
+        let period = 2 + rng.next_u64() % 62;
+        let seed = rng.next_u64() % 1000;
         let mut t = FairnessTrigger::new(period, seed);
         let trials = 40_000u64;
         let fires = (0..trials).filter(|_| t.fire()).count() as f64;
         let expected = trials as f64 / period as f64;
         // Loose 3-sigma-ish band.
         let sigma = (trials as f64 * (1.0 / period as f64)).sqrt();
-        prop_assert!(
+        assert!(
             (fires - expected).abs() < 5.0 * sigma + 10.0,
             "period {period}: fires {fires}, expected {expected}"
         );
     }
+}
 
-    #[test]
-    fn discipline_prepend_rate_tracks_probability(
-        p in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn discipline_prepend_rate_tracks_probability() {
+    let rng = XorShift64::new(0x8857);
+    for _ in 0..24 {
+        let p = (rng.next_u64() % 1_000_000) as f64 / 1_000_000.0;
+        let seed = rng.next_u64() % 1000;
         let mut d = AdmissionDiscipline::new(p, seed);
         let trials = 20_000u32;
         let prepends = (0..trials).filter(|_| d.prepend()).count() as f64;
         let expected = trials as f64 * p;
         let sigma = (trials as f64 * p * (1.0 - p)).sqrt().max(1.0);
-        prop_assert!(
+        assert!(
             (prepends - expected).abs() < 6.0 * sigma + 10.0,
             "p {p}: prepends {prepends}, expected {expected}"
         );

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use malthusian::locks::{
-    ClhLock, Instrumented, LifoCrLock, LoiterLock, McsCrLock, McsCrnLock, McsLock, Mutex,
-    RawLock, TasLock, TatasLock, TicketLock,
+    ClhLock, Instrumented, LifoCrLock, LoiterLock, McsCrLock, McsCrnLock, McsLock, Mutex, RawLock,
+    TasLock, TatasLock, TicketLock,
 };
 use malthusian::metrics::{AdmissionLog, FairnessSummary};
 
@@ -94,10 +94,7 @@ fn loiter_excludes() {
 /// thread must complete work — CR is unfair short-term, never forever.
 #[test]
 fn mcscr_long_term_fairness_bounds_starvation() {
-    let lock = Arc::new(Mutex::with_raw(
-        Instrumented::new(McsCrLock::stp()),
-        (),
-    ));
+    let lock = Arc::new(Mutex::with_raw(Instrumented::new(McsCrLock::stp()), ()));
     let done = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
     for _ in 0..8 {
