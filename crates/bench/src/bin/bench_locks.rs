@@ -5,6 +5,12 @@
 //! the pre-refactor [`BaselineMcsCrLock`] so every run records the
 //! padded/arena refactor's delta alongside the current numbers.
 //!
+//! Each contended cell also records its per-trial relative spread
+//! (`contended_rel_spread`), and thread counts above the host's CPU
+//! count are flagged in `oversubscribed_threads`: those cells are
+//! scheduler-noise-dominated and downstream comparisons should
+//! discount them.
+//!
 //! Environment knobs:
 //!
 //! * `MALTHUS_THREAD_SWEEP` — comma-separated contended thread counts
@@ -19,14 +25,7 @@ use std::sync::Arc;
 use malthus::{McsCrLock, McsLock, RawLock};
 use malthus_bench::baseline::BaselineMcsCrLock;
 use malthus_bench::livebench::{measure_interleaved, to_json, LockFactory, Series};
-use malthus_bench::thread_sweep;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use malthus_bench::{env_u64, thread_sweep};
 
 fn main() {
     let threads = thread_sweep(&[1, 4, 8]);
@@ -134,6 +133,23 @@ fn main() {
                 "[{}]",
                 threads
                     .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+        // Cells where the sweep oversubscribes the host: scheduler
+        // noise dominates there (cross-check contended_rel_spread),
+        // so downstream comparisons should discount them.
+        (
+            "oversubscribed_threads".to_string(),
+            format!(
+                "[{}]",
+                threads
+                    .iter()
+                    .filter(|&&t| {
+                        t > std::thread::available_parallelism().map_or(usize::MAX, |n| n.get())
+                    })
                     .map(|t| t.to_string())
                     .collect::<Vec<_>>()
                     .join(", ")

@@ -32,6 +32,15 @@ pub fn sim_seconds() -> f64 {
         .unwrap_or(DEFAULT_SIM_SECONDS)
 }
 
+/// Reads a `u64` environment knob, falling back to `default` when the
+/// variable is unset or unparsable. Shared by the bench binaries.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Returns the thread counts to sweep: `MALTHUS_THREAD_SWEEP` (a
 /// comma-separated list, e.g. `1,2,4`) when set and non-empty,
 /// otherwise `default`. CI smoke runs use the override so figure

@@ -99,6 +99,13 @@ pub struct Series {
     pub uncontended_ns: f64,
     /// `(threads, ops_per_sec)` pairs of the contended sweep.
     pub contended: Vec<(usize, f64)>,
+    /// `(threads, (max-min)/median)` relative spread across the
+    /// trials of each contended cell: the noise floor of that cell.
+    /// On a host where `threads > host_cpus` the cell is scheduler-
+    /// bound and the spread shows it — downstream comparisons should
+    /// discount such cells (see `oversubscribed_threads` in the
+    /// emitted JSON).
+    pub contended_spread: Vec<(usize, f64)>,
 }
 
 /// Number of repetitions per contended cell; the reported figure is
@@ -114,9 +121,31 @@ fn trials() -> usize {
         .unwrap_or(DEFAULT_TRIALS)
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
+/// Median of a sample (upper median for even lengths); the cell
+/// aggregator shared by the bench binaries.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains NaN.
+pub fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs[xs.len() / 2]
+}
+
+/// Relative spread of a cell's trials: `(max - min) / median`.
+/// Zero for a single trial; the measure of how much scheduler noise
+/// the median had to shrug off.
+fn rel_spread(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = median(xs.to_vec());
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    (max - min) / m
 }
 
 /// A type-erased lock factory for interleaved comparisons.
@@ -154,6 +183,11 @@ pub fn measure_interleaved(
                 .iter()
                 .enumerate()
                 .map(|(j, &t)| (t, median(cont[i][j].clone())))
+                .collect(),
+            contended_spread: threads
+                .iter()
+                .enumerate()
+                .map(|(j, &t)| (t, rel_spread(&cont[i][j])))
                 .collect(),
         })
         .collect()
@@ -197,6 +231,24 @@ pub fn to_json(series: &[Series], extras: &[(String, String)]) -> String {
             comma
         ));
     }
+    out.push_str("  },\n");
+    // Per-cell trial spread so downstream comparisons can weigh cells
+    // by their noise floor instead of trusting every median equally.
+    out.push_str("  \"contended_rel_spread\": {\n");
+    for (i, s) in series.iter().enumerate() {
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        let body: Vec<String> = s
+            .contended_spread
+            .iter()
+            .map(|(t, spread)| format!("\"{t}\": {spread:.3}"))
+            .collect();
+        out.push_str(&format!(
+            "    \"{}\": {{{}}}{}\n",
+            s.name,
+            body.join(", "),
+            comma
+        ));
+    }
     out.push_str("  }");
     for (k, v) in extras {
         out.push_str(&format!(",\n  \"{k}\": {v}"));
@@ -223,6 +275,16 @@ mod tests {
         assert!(s.uncontended_ns > 0.0);
         assert_eq!(s.contended.len(), 2);
         assert!(s.contended.iter().all(|&(_, ops)| ops > 0.0));
+        // One trial: spreads recorded, all zero.
+        assert_eq!(s.contended_spread.len(), 2);
+        assert!(s.contended_spread.iter().all(|&(_, sp)| sp == 0.0));
+    }
+
+    #[test]
+    fn rel_spread_captures_trial_noise() {
+        assert_eq!(rel_spread(&[100.0]), 0.0);
+        assert!((rel_spread(&[90.0, 100.0, 110.0]) - 0.2).abs() < 1e-12);
+        assert_eq!(rel_spread(&[]), 0.0);
     }
 
     #[test]
@@ -231,6 +293,7 @@ mod tests {
             name: "X".into(),
             uncontended_ns: 12.5,
             contended: vec![(1, 100.0), (4, 50.0)],
+            contended_spread: vec![(1, 0.05), (4, 0.8)],
         };
         let j = to_json(
             std::slice::from_ref(&s),
@@ -238,6 +301,8 @@ mod tests {
         );
         assert!(j.contains("\"X\": 12.50"));
         assert!(j.contains("\"1\": 100.00, \"4\": 50.00"));
+        assert!(j.contains("contended_rel_spread"));
+        assert!(j.contains("\"1\": 0.050, \"4\": 0.800"));
         assert!(j.contains("\"note\": \"hi\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }

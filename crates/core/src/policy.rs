@@ -1,10 +1,14 @@
 //! Concurrency-restriction policy decisions, shared with the simulator.
 //!
-//! The live locks (this crate) and the discrete-event machine model
-//! (`malthus-machinesim`) must make the *same* admission decisions for
-//! the reproduction to be faithful, so the decisions are factored out
-//! here: when to cull, when to reprovision, and when to pay the
-//! long-term-fairness tax.
+//! The live locks (this crate), the discrete-event machine model
+//! (`malthus-machinesim`), and the work-crew executor (`malthus-pool`)
+//! must make the *same* admission decisions for the reproduction to be
+//! faithful, so the decisions are factored out here: when to cull,
+//! when to reprovision, and when to pay the long-term-fairness tax —
+//! both at lock level ([`should_cull`]/[`should_reprovision`]) and one
+//! layer up at task-scheduler level
+//! ([`crew_has_surplus`]/[`crew_should_reprovision`], §7's "applies to
+//! any contended resource").
 
 use malthus_park::XorShift64;
 
@@ -84,6 +88,32 @@ pub fn should_cull(waiters_behind_owner: usize) -> bool {
 /// promoted.
 pub fn should_reprovision(main_queue_empty: bool, passive_len: usize) -> bool {
     main_queue_empty && passive_len > 0
+}
+
+/// Pool-level surplus: a work-crew worker is surplus when the active
+/// circulating set exceeds its admission limit.
+///
+/// §7 notes that concurrency restriction "can be applied to any
+/// contended resource" — one layer up from `lock()`, the contended
+/// resource is the CPU set itself, and the executor's ACS limit plays
+/// the role the saturated lock plays for [`should_cull`]: any active
+/// worker beyond it only adds preemption and cache pressure, so it is
+/// culled onto the passive stack.
+pub fn crew_has_surplus(active_workers: usize, acs_limit: usize) -> bool {
+    active_workers > acs_limit
+}
+
+/// Pool-level reprovisioning: promote a passivated worker when the
+/// task queue has backed up to the high watermark.
+///
+/// The work-conservation analogue of [`should_reprovision`]: a lock
+/// reprovisions when its main queue goes *empty* (the resource would
+/// idle); a queue-fed crew reprovisions when the task backlog *grows*
+/// past the watermark (the restricted ACS is no longer keeping up,
+/// e.g. a task blocked). Both promote exactly one passive thread per
+/// trigger.
+pub fn crew_should_reprovision(backlog: usize, high_watermark: usize, passive_len: usize) -> bool {
+    backlog >= high_watermark && passive_len > 0
 }
 
 /// Mixed append/prepend discipline for CR wait lists (condvars,
@@ -190,6 +220,24 @@ mod tests {
     #[should_panic(expected = "fairness period must be positive")]
     fn zero_period_panics() {
         FairnessTrigger::new(0, 1);
+    }
+
+    #[test]
+    fn crew_surplus_tracks_limit() {
+        assert!(!crew_has_surplus(0, 1));
+        assert!(!crew_has_surplus(1, 1));
+        assert!(crew_has_surplus(2, 1));
+        assert!(!crew_has_surplus(4, 4));
+        assert!(crew_has_surplus(5, 4));
+    }
+
+    #[test]
+    fn crew_reprovision_requires_backlog_and_passives() {
+        assert!(!crew_should_reprovision(0, 4, 3));
+        assert!(!crew_should_reprovision(3, 4, 3));
+        assert!(crew_should_reprovision(4, 4, 3));
+        assert!(crew_should_reprovision(9, 4, 1));
+        assert!(!crew_should_reprovision(9, 4, 0));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Lock-free log-scaled latency histogram (service-level metrics).
+//!
+//! The paper reports lock-level fairness; a *service* built on
+//! Malthusian admission (the `malthus-pool` work crew, the KV front
+//! end) additionally needs request-latency quantiles — restriction
+//! trades tail latency of the passivated minority for throughput of
+//! the active set, and p50/p99 is where that trade shows up.
+//!
+//! [`LatencyHistogram`] is an HDR-style histogram: power-of-two major
+//! buckets with 16 linear sub-buckets each, so any recorded duration
+//! lands in a bucket whose floor is within ~6% of the true value.
+//! Recording is a single relaxed `fetch_add` on an atomic bucket, so
+//! worker threads and load-generator connections can share one
+//! histogram without a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 16 linear steps per power of two (~6%
+/// worst-case quantization error on bucket floors).
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Values below `SUB` get exact unit buckets; above, `(msb - SUB_BITS)`
+/// majors of `SUB` sub-buckets each cover the rest of the `u64` range.
+const BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// A concurrent histogram of durations with ~6% value resolution.
+///
+/// # Examples
+///
+/// ```
+/// use malthus_metrics::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let h = LatencyHistogram::new();
+/// for ms in 1..=100 {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.quantile(0.50).as_millis();
+/// assert!((45..=55).contains(&p50), "p50 = {p50} ms");
+/// ```
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+}
+
+/// Maps a nanosecond value to its bucket index.
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUB {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros() as u64; // >= SUB_BITS
+    let sub = (ns >> (msb - SUB_BITS as u64)) & (SUB - 1);
+    (SUB + (msb - SUB_BITS as u64) * SUB + sub) as usize
+}
+
+/// The smallest nanosecond value mapping to `index` (bucket floor).
+fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let major = (index - SUB) / SUB + SUB_BITS as u64;
+    let sub = (index - SUB) % SUB;
+    (1 << major) | (sub << (major - SUB_BITS as u64))
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array from a
+        // zeroed Vec instead of a stack array literal.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec has BUCKETS elements"));
+        LatencyHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one observation given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of recorded values, resolved
+    /// to its bucket floor (within ~6% below the true value).
+    ///
+    /// Returns [`Duration::ZERO`] for an empty histogram. Concurrent
+    /// recording makes the answer a racy snapshot, same contract as
+    /// the lock statistics counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0.0, 1.0]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        // Rank of the target observation, 1-based, clamped to total.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_nanos(bucket_floor(i));
+            }
+        }
+        // Counts raced upward mid-scan; the tail bucket is the best
+        // answer available.
+        Duration::from_nanos(bucket_floor(BUCKETS - 1))
+    }
+
+    /// Convenience: `(p50, p99)` in one call.
+    pub fn p50_p99(&self) -> (Duration, Duration) {
+        (self.quantile(0.50), self.quantile(0.99))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_is_tight() {
+        for ns in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
+            let idx = bucket_index(ns);
+            let floor = bucket_floor(idx);
+            assert!(floor <= ns, "floor {floor} > value {ns}");
+            // Floor within one sub-bucket (1/16 of the major) below.
+            assert!(
+                ns - floor <= (ns >> SUB_BITS),
+                "value {ns} floor {floor} too coarse"
+            );
+            // Floors map back to their own bucket.
+            assert_eq!(bucket_index(floor), idx);
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotonic_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let ns = 1u64 << shift;
+            let idx = bucket_index(ns);
+            assert!(idx >= last);
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = LatencyHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record_ns(us * 1_000);
+        }
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        let p99 = h.quantile(0.99).as_nanos() as f64;
+        assert!(
+            (4.4e6..=5.1e6).contains(&p50),
+            "p50 = {p50} (expected ~5 ms)"
+        );
+        assert!(
+            (9.2e6..=10.0e6).contains(&p99),
+            "p99 = {p99} (expected ~9.9 ms)"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn extremes_of_q() {
+        let h = LatencyHistogram::new();
+        h.record_ns(10);
+        h.record_ns(1_000_000);
+        assert_eq!(h.quantile(0.0).as_nanos(), 10);
+        assert!(h.quantile(1.0).as_nanos() >= 900_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn out_of_range_q_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_ns(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for x in handles {
+            x.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -18,6 +18,11 @@
 //!
 //! [`AdmissionLog`] wraps a recorded history and computes all of them.
 //!
+//! For services built *on top of* Malthusian admission (the
+//! `malthus-pool` work crew and its KV front end), the crate also
+//! provides [`LatencyHistogram`], a lock-free log-scaled histogram for
+//! request-latency quantiles (p50/p99).
+//!
 //! # Examples
 //!
 //! ```
@@ -31,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod gini;
+mod latency;
 mod log;
 mod summary;
 mod table;
 
 pub use gini::{gini_coefficient, relative_stddev};
+pub use latency::LatencyHistogram;
 pub use log::{AdmissionLog, DEFAULT_LWSS_WINDOW};
 pub use summary::FairnessSummary;
 pub use table::{format_table, Align, Column};

@@ -1,0 +1,148 @@
+//! Edge-case coverage for the permit-based [`Parker`].
+//!
+//! §5.1 specifies park/unpark as a restricted-range (0/1) semaphore:
+//! an unpark may *precede* its park (the permit is banked and the
+//! park returns without blocking), redundant unparks collapse into a
+//! single permit, and a timed park that expires must leave no stale
+//! permit behind. These are exactly the properties the work-crew
+//! standby threads and the lock wait paths lean on, so they get
+//! dedicated integration tests here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use malthus_park::{ParkResult, Parker};
+
+/// Generous bound for "returned immediately" on a loaded CI host.
+const PROMPT: Duration = Duration::from_millis(100);
+
+#[test]
+fn unpark_before_park_consumes_the_permit_without_blocking() {
+    let p = Parker::new();
+    p.unparker().unpark();
+    assert!(p.permit_pending());
+    let start = Instant::now();
+    p.park();
+    assert!(start.elapsed() < PROMPT, "park must not block on a permit");
+    // The permit is consumed: a timed park now expires empty-handed.
+    assert!(!p.permit_pending());
+    assert_eq!(
+        p.park_timeout(Duration::from_millis(10)),
+        ParkResult::TimedOut
+    );
+}
+
+#[test]
+fn redundant_unparks_collapse_to_one_permit() {
+    let p = Parker::new();
+    let u = p.unparker();
+    for _ in 0..10 {
+        u.unpark();
+    }
+    let start = Instant::now();
+    p.park(); // consumes the single banked permit
+    assert!(start.elapsed() < PROMPT);
+    // No second permit exists despite ten unparks.
+    assert_eq!(
+        p.park_timeout(Duration::from_millis(10)),
+        ParkResult::TimedOut
+    );
+    assert!(!p.permit_pending());
+}
+
+#[test]
+fn park_timeout_expires_with_no_pending_permit() {
+    let p = Parker::new();
+    let start = Instant::now();
+    assert_eq!(
+        p.park_timeout(Duration::from_millis(25)),
+        ParkResult::TimedOut
+    );
+    assert!(start.elapsed() >= Duration::from_millis(20));
+    // A timeout must fully withdraw the parked claim: no permit
+    // pending, and the *next* unpark/park pair works normally.
+    assert!(!p.permit_pending());
+    p.unparker().unpark();
+    let start = Instant::now();
+    p.park();
+    assert!(start.elapsed() < PROMPT);
+}
+
+#[test]
+fn unpark_racing_a_timeout_is_either_consumed_or_banked_never_lost() {
+    // Deliberately race unpark against the timeout deadline many
+    // times; whatever the interleaving, the permit must either wake
+    // this round (Unparked) or remain banked for the next park.
+    let p = Arc::new(Parker::new());
+    let u = p.unparker();
+    for round in 0..200u64 {
+        let u = u.clone();
+        let h = std::thread::spawn(move || {
+            // Straddle the 1 ms deadline from both sides.
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(500 + (round % 7) * 250));
+            }
+            u.unpark();
+        });
+        let res = p.park_timeout(Duration::from_millis(1));
+        h.join().unwrap();
+        if res == ParkResult::TimedOut {
+            // The racing unpark landed after withdrawal: its permit
+            // must still be banked.
+            let start = Instant::now();
+            p.park();
+            assert!(
+                start.elapsed() < PROMPT,
+                "round {round}: permit lost after timeout"
+            );
+        }
+        assert!(!p.permit_pending(), "round {round}: stale permit");
+    }
+}
+
+#[test]
+fn one_permit_wakes_exactly_one_park() {
+    // park → unpark → park: the second park must block until the
+    // second unpark, proving the first park consumed the permit.
+    let p = Arc::new(Parker::new());
+    let u = p.unparker();
+    let stage = Arc::new(AtomicU64::new(0));
+    let h = {
+        let p = Arc::clone(&p);
+        let stage = Arc::clone(&stage);
+        std::thread::spawn(move || {
+            p.park();
+            stage.store(1, Ordering::SeqCst);
+            p.park();
+            stage.store(2, Ordering::SeqCst);
+        })
+    };
+    u.unpark();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while stage.load(Ordering::SeqCst) < 1 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(stage.load(Ordering::SeqCst), 1);
+    // Give the second park time to block; it must not have run.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(stage.load(Ordering::SeqCst), 1, "one permit woke two parks");
+    u.unpark();
+    h.join().unwrap();
+    assert_eq!(stage.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn timed_park_consumes_pre_banked_permit_immediately() {
+    let p = Parker::new();
+    p.unparker().unpark();
+    let start = Instant::now();
+    assert_eq!(
+        p.park_timeout(Duration::from_secs(10)),
+        ParkResult::Unparked
+    );
+    assert!(start.elapsed() < PROMPT);
+    assert!(!p.permit_pending());
+}

@@ -1,0 +1,126 @@
+//! `kv_load` — closed-loop load generator for `kv_server`.
+//!
+//! Opens `MALTHUS_KV_CONNS` connections, each running a closed loop
+//! of mixed `GET`/`PUT` requests over a xorshift key stream for
+//! `MALTHUS_KV_SECONDS`, then reports aggregate throughput and
+//! p50/p99 request latency from a shared
+//! [`LatencyHistogram`](malthus_metrics::LatencyHistogram).
+//!
+//! Environment knobs:
+//!
+//! * `MALTHUS_KV_ADDR` — server address (default `127.0.0.1:7878`).
+//!   Connection attempts retry for a few seconds so the generator can
+//!   be started alongside the server in scripts.
+//! * `MALTHUS_KV_CONNS` — concurrent connections (default 4).
+//! * `MALTHUS_KV_SECONDS` — measurement interval (default 2).
+//! * `MALTHUS_KV_KEYS` — key-space size (default 10000).
+//! * `MALTHUS_KV_PUT_PCT` — percentage of PUTs (default 20).
+//! * `MALTHUS_KV_SHUTDOWN` — set to `1` to send `SHUTDOWN` when done.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use malthus_metrics::LatencyHistogram;
+use malthus_park::XorShift64;
+use malthus_pool::kv::DEFAULT_ADDR;
+use malthus_pool::KvClient;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn connect_with_retry(addr: SocketAddr) -> KvClient {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match KvClient::connect(addr) {
+            Ok(c) => return c,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("# kv_load: connect failed ({e}), retrying");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => panic!("could not connect to {addr}: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let addr: SocketAddr = std::env::var("MALTHUS_KV_ADDR")
+        .unwrap_or_else(|_| DEFAULT_ADDR.to_string())
+        .parse()
+        .expect("MALTHUS_KV_ADDR must be host:port");
+    let conns = env_u64("MALTHUS_KV_CONNS", 4) as usize;
+    let seconds = env_u64("MALTHUS_KV_SECONDS", 2);
+    let keys = env_u64("MALTHUS_KV_KEYS", 10_000).max(1);
+    let put_pct = env_u64("MALTHUS_KV_PUT_PCT", 20).min(100);
+    let send_shutdown = std::env::var("MALTHUS_KV_SHUTDOWN").is_ok_and(|v| v == "1");
+
+    eprintln!("# kv_load: {conns} connections x {seconds} s against {addr}");
+    let hist = Arc::new(LatencyHistogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let hist = Arc::clone(&hist);
+            let stop = Arc::clone(&stop);
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || {
+                let mut client = connect_with_retry(addr);
+                let rng = XorShift64::new(0xC0FFEE ^ (c as u64 + 1));
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.next_below(keys);
+                    let req = if rng.next_below(100) < put_pct {
+                        format!("PUT {key} {}", key.wrapping_mul(31))
+                    } else {
+                        format!("GET {key}")
+                    };
+                    let t0 = Instant::now();
+                    match client.roundtrip(&req) {
+                        Ok(resp) if resp.starts_with("ERR") => {
+                            // Failed requests must not pollute the
+                            // throughput/latency figures.
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            hist.record(t0.elapsed());
+                            ops += 1;
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return ops;
+                        }
+                    }
+                }
+                ops
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let (p50, p99) = hist.p50_p99();
+    println!(
+        "ops {total}  ops/s {:.0}  p50_us {:.1}  p99_us {:.1}  errors {}",
+        total as f64 / elapsed,
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+        errors.load(Ordering::Relaxed)
+    );
+    assert!(total > 0, "load generator completed no operations");
+
+    if send_shutdown {
+        let mut c = connect_with_retry(addr);
+        let resp = c.roundtrip("SHUTDOWN").expect("SHUTDOWN round trip");
+        eprintln!("# kv_load: shutdown -> {resp}");
+    }
+}

@@ -1,0 +1,57 @@
+//! `kv_server` — the Malthusian KV service over TCP.
+//!
+//! Serves the line protocol of [`malthus_pool::kv`] with request
+//! execution dispatched onto a concurrency-restricting [`WorkCrew`].
+//! Runs until a client sends `SHUTDOWN`.
+//!
+//! Environment knobs:
+//!
+//! * `MALTHUS_KV_ADDR` — listen address (default `127.0.0.1:7878`).
+//! * `MALTHUS_KV_WORKERS` — crew size (default `4 × host CPUs`).
+//! * `MALTHUS_KV_QUEUE` — task-queue bound (default 256).
+//! * `MALTHUS_KV_UNRESTRICTED` — set to `1` to disable concurrency
+//!   restriction (for A/B runs against the Malthusian default).
+
+use std::sync::Arc;
+
+use malthus_pool::kv::{self, KvService, DEFAULT_ADDR};
+use malthus_pool::{PoolConfig, WorkCrew};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let addr = std::env::var("MALTHUS_KV_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = env_usize("MALTHUS_KV_WORKERS", 4 * cpus);
+    let queue = env_usize("MALTHUS_KV_QUEUE", 256);
+    let unrestricted = std::env::var("MALTHUS_KV_UNRESTRICTED").is_ok_and(|v| v == "1");
+
+    let cfg = if unrestricted {
+        PoolConfig::unrestricted(workers, queue)
+    } else {
+        PoolConfig::malthusian(workers, queue)
+    };
+    eprintln!(
+        "# kv_server: {workers} workers (ACS target {}), queue bound {queue}, {cpus} host CPUs",
+        cfg.acs_target
+    );
+
+    let (listener, control) = kv::bind(&addr).expect("bind listen address");
+    println!("listening on {}", control.addr());
+
+    let crew = Arc::new(WorkCrew::new(cfg));
+    let service = Arc::new(KvService::default());
+    kv::serve(listener, &control, Arc::clone(&crew), service).expect("accept loop failed");
+
+    let stats = crew.shutdown();
+    eprintln!(
+        "# kv_server: completed={} culls={} reprovisions={} promotions={}",
+        stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
+    );
+}

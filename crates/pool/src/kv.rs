@@ -1,0 +1,483 @@
+//! A networked KV service that puts the work crew under real traffic.
+//!
+//! §6.5 of the paper evaluates CR inside leveldb, whose "central
+//! database lock and internal LRUCache locks are highly contended".
+//! This module serves that same storage shape —
+//! [`MiniKv`](malthus_storage::MiniKv) behind a Malthusian DB lock
+//! plus a [`SimpleLru`](malthus_storage::SimpleLru) block cache behind
+//! its own — over TCP, with request execution dispatched onto a
+//! [`WorkCrew`], so admission control operates at *both* layers: the
+//! crew restricts how many threads run at all, and the MCSCR locks
+//! restrict circulation on the hot data.
+//!
+//! The wire protocol is line-oriented text (one request, one response):
+//!
+//! | Request | Response |
+//! |---|---|
+//! | `PUT <key> <value>` | `OK` |
+//! | `GET <key>` | `VAL <value>` or `NIL` |
+//! | `PING` | `PONG` |
+//! | `STATS` | `STATS reads=<n> writes=<n> completed=<n> culls=<n> reprovisions=<n> promotions=<n>` |
+//! | `SHUTDOWN` | `OK` then the server stops accepting |
+//! | `QUIT` | connection closes |
+//! | anything else | `ERR <reason>` |
+//!
+//! Keys and values are unsigned 64-bit integers. Connection readers
+//! are plain threads (cheap, blocked on I/O); all request *execution*
+//! flows through the crew, which is where concurrency is restricted.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use malthus::{current_thread_index, McsCrMutex};
+use malthus_storage::{MiniKv, SimpleLru};
+
+use crate::crew::WorkCrew;
+
+/// Default TCP address for the server and load-generator binaries.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+/// Memtable entries before MiniKv freezes a run.
+pub const DEFAULT_MEMTABLE_LIMIT: usize = 4_096;
+/// Block-cache capacity in blocks.
+pub const DEFAULT_CACHE_BLOCKS: usize = 8_192;
+
+/// One parsed request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `PUT <key> <value>`
+    Put(u64, u64),
+    /// `GET <key>`
+    Get(u64),
+    /// `PING`
+    Ping,
+    /// `STATS`
+    Stats,
+    /// `SHUTDOWN`
+    Shutdown,
+    /// `QUIT`
+    Quit,
+}
+
+impl Request {
+    /// Parses one line of the wire protocol.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut parts = line.split_ascii_whitespace();
+        let verb = parts.next().ok_or_else(|| "empty request".to_string())?;
+        let mut int = |name: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("{verb} missing {name}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{verb} {name} must be a u64"))
+        };
+        let req = match verb {
+            "PUT" => Request::Put(int("key")?, int("value")?),
+            "GET" => Request::Get(int("key")?),
+            "PING" => Request::Ping,
+            "STATS" => Request::Stats,
+            "SHUTDOWN" => Request::Shutdown,
+            "QUIT" => Request::Quit,
+            other => return Err(format!("unknown verb {other}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("{verb} given too many arguments"));
+        }
+        Ok(req)
+    }
+}
+
+/// The shared storage state: the two contended locks of §6.5.
+pub struct KvService {
+    /// The central database lock (memtable + runs).
+    db: McsCrMutex<MiniKv>,
+    /// The block-cache lock.
+    cache: McsCrMutex<SimpleLru>,
+}
+
+impl KvService {
+    /// Creates a service with the given memtable limit and block-cache
+    /// capacity.
+    pub fn new(memtable_limit: usize, cache_blocks: usize) -> Self {
+        KvService {
+            db: McsCrMutex::default_cr(MiniKv::new(memtable_limit)),
+            cache: McsCrMutex::default_cr(SimpleLru::new(cache_blocks)),
+        }
+    }
+
+    /// Inserts or updates a key.
+    pub fn put(&self, key: u64, value: u64) {
+        self.db.lock().put(key, value);
+    }
+
+    /// Point lookup through memtable, runs, and the block cache.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        // Both locks are taken in a fixed order (db then cache),
+        // mirroring leveldb's read path.
+        let tid = current_thread_index();
+        let db = self.db.lock();
+        let mut cache = self.cache.lock();
+        db.get(key, &mut cache, tid)
+    }
+
+    /// `(reads, writes)` served so far (exact while quiescent).
+    pub fn counters(&self) -> (u64, u64) {
+        let db = self.db.lock();
+        (db.reads(), db.writes())
+    }
+
+    /// Executes a request and renders its response line. `Quit` and
+    /// `Shutdown` render here too; connection/acceptor control flow is
+    /// the caller's job.
+    pub fn apply(&self, req: Request, crew: &WorkCrew) -> String {
+        match req {
+            Request::Put(k, v) => {
+                self.put(k, v);
+                "OK".to_string()
+            }
+            Request::Get(k) => match self.get(k) {
+                Some(v) => format!("VAL {v}"),
+                None => "NIL".to_string(),
+            },
+            Request::Ping => "PONG".to_string(),
+            Request::Stats => {
+                let (reads, writes) = self.counters();
+                let s = crew.stats();
+                format!(
+                    "STATS reads={reads} writes={writes} completed={} culls={} \
+                     reprovisions={} promotions={}",
+                    s.completed, s.culls, s.reprovisions, s.fairness_promotions
+                )
+            }
+            Request::Shutdown | Request::Quit => "OK".to_string(),
+        }
+    }
+}
+
+impl Default for KvService {
+    fn default() -> Self {
+        Self::new(DEFAULT_MEMTABLE_LIMIT, DEFAULT_CACHE_BLOCKS)
+    }
+}
+
+impl std::fmt::Debug for KvService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvService").finish_non_exhaustive()
+    }
+}
+
+/// Handle used to stop a running [`serve`] loop.
+#[derive(Clone)]
+pub struct ServerControl {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerControl {
+    /// The address the server is accepting on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to exit; the loop is unblocked with a
+    /// self-connect and open connections are disconnected by
+    /// [`serve`] on its way out.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl std::fmt::Debug for ServerControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerControl")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Binds `addr` and returns the listener plus its control handle.
+pub fn bind(addr: &str) -> std::io::Result<(TcpListener, ServerControl)> {
+    let listener = TcpListener::bind(addr)?;
+    let control = ServerControl {
+        stop: Arc::new(AtomicBool::new(false)),
+        addr: listener.local_addr()?,
+    };
+    Ok((listener, control))
+}
+
+/// Runs the accept loop until [`ServerControl::stop`] is called or a
+/// client sends `SHUTDOWN`; on stop, still-open connections are
+/// disconnected (in-flight requests already on the crew complete, but
+/// their responses may not be deliverable).
+///
+/// Each connection gets a reader thread that parses request lines and
+/// submits their execution to `crew`; responses are written back from
+/// the crew worker. Clients are expected to run closed-loop (one
+/// outstanding request per connection), which is what the bundled
+/// load generator does. Transient `accept` failures (`EMFILE`,
+/// `ECONNABORTED`, …) are logged and survived, not propagated.
+pub fn serve(
+    listener: TcpListener,
+    control: &ServerControl,
+    crew: Arc<WorkCrew>,
+    service: Arc<KvService>,
+) -> std::io::Result<()> {
+    let mut conns: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
+    for stream in listener.incoming() {
+        if control.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                // One refused/aborted connection must not take down
+                // the service; back off briefly in case the cause is
+                // fd exhaustion.
+                eprintln!("# kv: accept error (continuing): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Reap finished connections so a long-running server's
+        // bookkeeping stays proportional to *open* connections.
+        conns.retain(|(h, _)| !h.is_finished());
+        let Ok(peer) = stream.try_clone() else {
+            continue; // no fd left for the shutdown handle: drop it
+        };
+        let crew = Arc::clone(&crew);
+        let service = Arc::clone(&service);
+        let control = control.clone();
+        conns.push((
+            std::thread::spawn(move || {
+                handle_connection(stream, &crew, &service, &control);
+            }),
+            peer,
+        ));
+    }
+    // Readers blocked in `read_line` on idle connections would make
+    // the joins below wait for their clients to hang up; close the
+    // sockets so they observe EOF now.
+    for (_, peer) in &conns {
+        let _ = peer.shutdown(std::net::Shutdown::Both);
+    }
+    for (c, _) in conns {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    crew: &Arc<WorkCrew>,
+    service: &Arc<KvService>,
+    control: &ServerControl,
+) {
+    // One short response per request: Nagle + the peer's delayed ACK
+    // would otherwise stall every reply by tens of milliseconds.
+    let _ = stream.set_nodelay(true);
+    let Ok(writer) = stream.try_clone().map(Arc::new) else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // disconnected
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let req = match Request::parse(trimmed) {
+            Ok(r) => r,
+            Err(e) => {
+                if write_line(&writer, &format!("ERR {e}")).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match req {
+            Request::Quit => {
+                return;
+            }
+            Request::Shutdown => {
+                let _ = write_line(&writer, "OK");
+                control.stop();
+                return;
+            }
+            _ => {
+                let service = Arc::clone(service);
+                let writer_for_task = Arc::clone(&writer);
+                let crew_for_task = Arc::clone(crew);
+                let submitted = crew.submit(move || {
+                    let resp = service.apply(req, &crew_for_task);
+                    let _ = write_line(&writer_for_task, &resp);
+                });
+                if submitted.is_err() {
+                    let _ = write_line(&writer, "ERR shutting down");
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Writes `line` plus its terminator as a single `write` so the
+/// response leaves in one TCP segment.
+fn write_line(stream: &Arc<TcpStream>, line: &str) -> std::io::Result<()> {
+    let mut msg = String::with_capacity(line.len() + 1);
+    msg.push_str(line);
+    msg.push('\n');
+    let mut s: &TcpStream = stream;
+    s.write_all(msg.as_bytes())
+}
+
+/// A minimal closed-loop client for tests and the load generator.
+#[derive(Debug)]
+pub struct KvClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+    out: String,
+}
+
+impl KvClient {
+    /// Connects to a running server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(KvClient {
+            reader: BufReader::new(stream),
+            writer,
+            line: String::new(),
+            out: String::new(),
+        })
+    }
+
+    /// Sends one request line and returns the response line.
+    pub fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.out.clear();
+        self.out.push_str(request);
+        self.out.push('\n');
+        self.writer.write_all(self.out.as_bytes())?;
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(self.line.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crew::PoolConfig;
+
+    #[test]
+    fn parse_round_trips_the_grammar() {
+        assert_eq!(Request::parse("PUT 1 2"), Ok(Request::Put(1, 2)));
+        assert_eq!(Request::parse("GET 7"), Ok(Request::Get(7)));
+        assert_eq!(Request::parse("PING"), Ok(Request::Ping));
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+        assert_eq!(Request::parse("  GET   9  "), Ok(Request::Get(9)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("PUT 1").is_err());
+        assert!(Request::parse("PUT 1 2 3").is_err());
+        assert!(Request::parse("GET banana").is_err());
+        assert!(Request::parse("DEL 1").is_err());
+    }
+
+    #[test]
+    fn service_put_get_through_both_locks() {
+        let svc = KvService::new(8, 256);
+        for k in 0..40u64 {
+            svc.put(k, k * 3);
+        }
+        // Small memtable forces frozen runs, so gets traverse the
+        // block cache too.
+        for k in 0..40u64 {
+            assert_eq!(svc.get(k), Some(k * 3), "key {k}");
+        }
+        assert_eq!(svc.get(999), None);
+        let (reads, writes) = svc.counters();
+        assert_eq!(reads, 41);
+        assert_eq!(writes, 40);
+    }
+
+    #[test]
+    fn apply_renders_the_wire_responses() {
+        let svc = KvService::new(64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        assert_eq!(svc.apply(Request::Put(5, 6), &crew), "OK");
+        assert_eq!(svc.apply(Request::Get(5), &crew), "VAL 6");
+        assert_eq!(svc.apply(Request::Get(6), &crew), "NIL");
+        assert_eq!(svc.apply(Request::Ping, &crew), "PONG");
+        let stats = svc.apply(Request::Stats, &crew);
+        // Two GETs above: one hit, one miss.
+        assert!(stats.starts_with("STATS reads=2 writes=1"), "{stats}");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let (listener, control) = bind("127.0.0.1:0").unwrap();
+        let addr = control.addr();
+        let crew = Arc::new(WorkCrew::new(
+            PoolConfig::malthusian(3, 32).with_acs_target(1),
+        ));
+        let svc = Arc::new(KvService::new(64, 256));
+        let server = {
+            let crew = Arc::clone(&crew);
+            let svc = Arc::clone(&svc);
+            let control = control.clone();
+            std::thread::spawn(move || serve(listener, &control, crew, svc).unwrap())
+        };
+
+        let mut c = KvClient::connect(addr).unwrap();
+        assert_eq!(c.roundtrip("PING").unwrap(), "PONG");
+        assert_eq!(c.roundtrip("PUT 10 11").unwrap(), "OK");
+        assert_eq!(c.roundtrip("GET 10").unwrap(), "VAL 11");
+        assert_eq!(c.roundtrip("GET 12").unwrap(), "NIL");
+        assert!(c.roundtrip("BOGUS").unwrap().starts_with("ERR"));
+        assert!(c.roundtrip("STATS").unwrap().starts_with("STATS "));
+
+        // A second closed-loop client hammers the service through the
+        // restricted crew.
+        let mut c2 = KvClient::connect(addr).unwrap();
+        for i in 0..200u64 {
+            assert_eq!(c2.roundtrip(&format!("PUT {i} {}", i * 2)).unwrap(), "OK");
+            assert_eq!(
+                c2.roundtrip(&format!("GET {i}")).unwrap(),
+                format!("VAL {}", i * 2)
+            );
+        }
+
+        // SHUTDOWN with `c2` still connected: `serve` must disconnect
+        // the idle connection itself rather than wait for the client
+        // to hang up.
+        assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK");
+        server.join().unwrap();
+        drop(c2);
+        let stats = crew.shutdown();
+        // PING + PUT + 2 GETs + STATS + 400 closed-loop ops; BOGUS and
+        // SHUTDOWN never reach the crew.
+        assert!(stats.completed >= 405, "completed = {}", stats.completed);
+    }
+}

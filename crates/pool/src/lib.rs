@@ -1,0 +1,54 @@
+//! Concurrency restriction one layer up: a Malthusian work crew.
+//!
+//! §7 of *Malthusian Locks* (Dice, EuroSys 2017) observes that the
+//! active/passive partitioning that cures lock-level scalability
+//! collapse "can be applied to any contended resource". This crate
+//! applies it at the task-scheduler level:
+//!
+//! * [`WorkCrew`] — a bounded-queue executor whose worker threads are
+//!   partitioned into an active circulating set and a LIFO passive
+//!   stack, with backlog-driven reprovisioning and episodic
+//!   eldest-first fairness promotion. The admission decisions are the
+//!   *same functions* the locks use
+//!   ([`malthus::policy::crew_has_surplus`],
+//!   [`malthus::policy::crew_should_reprovision`],
+//!   [`malthus::policy::FairnessTrigger`]), so pool and locks share
+//!   one policy module.
+//! * [`kv`] — a line-protocol TCP key-value service
+//!   ([`KvService`]) dispatching request execution onto the crew
+//!   against [`MiniKv`](malthus_storage::MiniKv)'s two contended
+//!   locks (§6.5's leveldb shape), plus the client used by the
+//!   bundled load generator. Binaries: `kv_server`, `kv_load`.
+//!
+//! The `bench_pool` binary (in `malthus-bench`) compares unrestricted
+//! and Malthusian crews at rising oversubscription and writes
+//! `BENCH_pool.json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use malthus_pool::{PoolConfig, WorkCrew};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // 8 workers, but only ~num_cpus circulate at once.
+//! let crew = WorkCrew::new(PoolConfig::malthusian(8, 128));
+//! let done = Arc::new(AtomicU64::new(0));
+//! for _ in 0..1_000 {
+//!     let done = Arc::clone(&done);
+//!     crew.submit(move || {
+//!         done.fetch_add(1, Ordering::Relaxed);
+//!     })
+//!     .unwrap();
+//! }
+//! let stats = crew.shutdown();
+//! assert_eq!(stats.completed, 1_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod crew;
+pub mod kv;
+
+pub use crew::{PoolConfig, PoolStats, SubmitError, Task, WorkCrew, DEFAULT_STALL_THRESHOLD};
+pub use kv::{KvClient, KvService, Request, ServerControl};

@@ -10,6 +10,7 @@
 //! Like leveldb, reads consult the memtable, then the frozen runs via
 //! the block cache.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::simplelru::SimpleLru;
@@ -19,15 +20,21 @@ use crate::simplelru::SimpleLru;
 ///
 /// Not internally synchronized: the benchmark wraps the *database*
 /// (memtable + runs) in one mutex and the block cache in another,
-/// matching the two contended locks of §6.5.
+/// matching the two contended locks of §6.5. The read/write counters
+/// live in [`Cell`]s so [`MiniKv::get`] — which never mutates the
+/// store proper — can take `&self`; like the locks' `cr_stats`, the
+/// counters are serialized by the external lock that owns the store
+/// (the `Cell`s make `MiniKv` `!Sync`, so unserialized sharing is
+/// rejected at compile time) and snapshot reads are exact only while
+/// that lock is quiescent.
 #[derive(Debug)]
 pub struct MiniKv {
     memtable: BTreeMap<u64, u64>,
     /// Immutable runs, newest first. Each run is sorted.
     runs: Vec<Vec<(u64, u64)>>,
     memtable_limit: usize,
-    writes: u64,
-    reads: u64,
+    writes: Cell<u64>,
+    reads: Cell<u64>,
 }
 
 impl MiniKv {
@@ -43,14 +50,14 @@ impl MiniKv {
             memtable: BTreeMap::new(),
             runs: Vec::new(),
             memtable_limit,
-            writes: 0,
-            reads: 0,
+            writes: Cell::new(0),
+            reads: Cell::new(0),
         }
     }
 
     /// Inserts or updates a key; may freeze the memtable into a run.
     pub fn put(&mut self, key: u64, value: u64) {
-        self.writes += 1;
+        self.writes.set(self.writes.get() + 1);
         self.memtable.insert(key, value);
         if self.memtable.len() >= self.memtable_limit {
             let run: Vec<(u64, u64)> = std::mem::take(&mut self.memtable).into_iter().collect();
@@ -72,8 +79,12 @@ impl MiniKv {
 
     /// Point lookup through memtable then runs; `cache` is consulted
     /// per run block touched (modeling block-cache traffic).
-    pub fn get(&mut self, key: u64, cache: &mut SimpleLru, thread: u32) -> Option<u64> {
-        self.reads += 1;
+    ///
+    /// Takes `&self`: lookups only bump the `Cell`-based read counter,
+    /// so a future read-path optimization (e.g. a Malthusian RwLock)
+    /// can serve gets without exclusive access to the store.
+    pub fn get(&self, key: u64, cache: &mut SimpleLru, thread: u32) -> Option<u64> {
+        self.reads.set(self.reads.get() + 1);
         if let Some(&v) = self.memtable.get(&key) {
             return Some(v);
         }
@@ -96,12 +107,12 @@ impl MiniKv {
 
     /// Writes accepted.
     pub fn writes(&self) -> u64 {
-        self.writes
+        self.writes.get()
     }
 
     /// Reads served.
     pub fn reads(&self) -> u64 {
-        self.reads
+        self.reads.get()
     }
 
     /// Number of frozen runs.
@@ -173,6 +184,18 @@ mod tests {
             kv.put(k, k);
         }
         assert!(kv.run_count() <= 5, "runs: {}", kv.run_count());
+    }
+
+    #[test]
+    fn get_works_through_a_shared_reference() {
+        let mut kv = MiniKv::new(100);
+        kv.put(1, 10);
+        let shared: &MiniKv = &kv;
+        let mut c = cache();
+        assert_eq!(shared.get(1, &mut c, 0), Some(10));
+        assert_eq!(shared.get(2, &mut c, 0), None);
+        assert_eq!(shared.reads(), 2);
+        assert_eq!(shared.writes(), 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`lrucache`] | Fig. 12 | software-LRU interference |
 //! | [`perlish`] | Fig. 13 | CR via condvars (interpreted code) |
 //! | [`bufferpool`] | Fig. 14 | append-probability sweep |
+//! | [`pool_saturation`] | §7 (beyond locks) | scheduler-level CR via the work crew |
 //!
 //! [`LockChoice`] names the lock configurations of the figures
 //! (`MCS-S`, `MCS-STP`, `MCSCR-S`, `MCSCR-STP`, `null`).
@@ -34,6 +35,7 @@ pub mod keymap;
 pub mod lrucache;
 pub mod mmicro;
 pub mod perlish;
+pub mod pool_saturation;
 pub mod prodcons;
 pub mod randarray;
 pub mod readwhilewriting;

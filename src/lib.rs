@@ -12,6 +12,8 @@
 //! * [`machinesim`] — the discrete-event T5 machine model.
 //! * [`storage`] — splay allocator, SimpleLRU, MiniKv, KcCacheDb,
 //!   bounded queue, buffer pools.
+//! * [`pool`] — the Malthusian work crew (concurrency-restricting
+//!   executor) and the TCP KV service built on it.
 //! * [`workloads`] — the paper's twelve evaluation workloads.
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
@@ -34,5 +36,6 @@ pub use malthus_cachesim as cachesim;
 pub use malthus_machinesim as machinesim;
 pub use malthus_metrics as metrics;
 pub use malthus_park as park;
+pub use malthus_pool as pool;
 pub use malthus_storage as storage;
 pub use malthus_workloads as workloads;

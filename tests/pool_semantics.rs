@@ -1,0 +1,134 @@
+//! End-to-end semantics of the Malthusian work crew and KV service.
+//!
+//! The acceptance bar for the pool subsystem: culled workers are
+//! reprovisioned (no task is ever lost), the fairness trigger
+//! eventually promotes the eldest passive worker, and the networked
+//! KV front end serves correct responses through the restricted crew.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use malthusian::pool::{kv, KvClient, KvService, PoolConfig, WorkCrew};
+
+#[test]
+fn culled_workers_are_reprovisioned_and_no_task_is_lost() {
+    // ACS of 1 on a crew of 5: four workers are culled immediately.
+    // A task that wedges the lone active worker forces the standby
+    // machinery to reprovision, and every submitted task must still
+    // run exactly once.
+    let cfg = PoolConfig::malthusian(5, 32)
+        .with_acs_target(1)
+        .with_fairness_period(None)
+        .with_stall_threshold(Duration::from_millis(5));
+    let crew = WorkCrew::new(cfg);
+    let hits = Arc::new(AtomicU64::new(0));
+    for batch in 0..4 {
+        // Each batch starts with a 20 ms blocker, then 100 quick
+        // tasks that would strand behind it without reprovisioning.
+        crew.submit(move || std::thread::sleep(Duration::from_millis(20)))
+            .unwrap();
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            crew.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let _ = batch;
+    }
+    let stats = crew.shutdown();
+    assert_eq!(hits.load(Ordering::Relaxed), 400, "no lost tasks");
+    assert_eq!(stats.completed, 404);
+    assert_eq!(stats.submitted, 404);
+    assert!(stats.culls >= 4, "culls = {}", stats.culls);
+    assert!(
+        stats.reprovisions >= 1,
+        "blocked service must reprovision: {stats:?}"
+    );
+}
+
+#[test]
+fn fairness_trigger_rotates_every_worker_through_the_acs() {
+    let cfg = PoolConfig::malthusian(4, 32)
+        .with_acs_target(1)
+        .with_fairness_period(Some(8));
+    let crew = WorkCrew::new(cfg);
+    for i in 0..4_000u64 {
+        crew.submit(move || {
+            std::hint::black_box(i.wrapping_mul(2_654_435_761));
+        })
+        .unwrap();
+    }
+    let stats = crew.shutdown();
+    assert_eq!(stats.completed, 4_000);
+    assert!(
+        stats.fairness_promotions > 0,
+        "promotions = {}",
+        stats.fairness_promotions
+    );
+    for (w, &n) in stats.per_worker_completed.iter().enumerate() {
+        assert!(
+            n > 0,
+            "worker {w} starved: {:?}",
+            stats.per_worker_completed
+        );
+    }
+}
+
+#[test]
+fn kv_service_round_trips_under_the_restricted_crew() {
+    let (listener, control) = kv::bind("127.0.0.1:0").unwrap();
+    let addr = control.addr();
+    let crew = Arc::new(WorkCrew::new(
+        PoolConfig::malthusian(4, 64).with_acs_target(1),
+    ));
+    let svc = Arc::new(KvService::new(128, 1_024));
+    let server = {
+        let crew = Arc::clone(&crew);
+        let svc = Arc::clone(&svc);
+        let control = control.clone();
+        std::thread::spawn(move || kv::serve(listener, &control, crew, svc).unwrap())
+    };
+
+    // Two concurrent closed-loop clients with disjoint key ranges.
+    let clients: Vec<_> = (0..2u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut cl = KvClient::connect(addr).unwrap();
+                let base = c * 10_000;
+                for i in 0..150u64 {
+                    let k = base + i;
+                    assert_eq!(cl.roundtrip(&format!("PUT {k} {}", k * 7)).unwrap(), "OK");
+                }
+                for i in 0..150u64 {
+                    let k = base + i;
+                    assert_eq!(
+                        cl.roundtrip(&format!("GET {k}")).unwrap(),
+                        format!("VAL {}", k * 7),
+                        "client {c} key {k}"
+                    );
+                }
+                assert_eq!(
+                    cl.roundtrip(&format!("GET {}", base + 99_999)).unwrap(),
+                    "NIL"
+                );
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let mut cl = KvClient::connect(addr).unwrap();
+    let stats_line = cl.roundtrip("STATS").unwrap();
+    assert!(stats_line.starts_with("STATS reads="), "{stats_line}");
+    assert_eq!(cl.roundtrip("SHUTDOWN").unwrap(), "OK");
+    server.join().unwrap();
+
+    let stats = crew.shutdown();
+    assert!(stats.completed >= 603, "completed = {}", stats.completed);
+    let (reads, writes) = svc.counters();
+    assert_eq!(writes, 300);
+    assert_eq!(reads, 302);
+}
