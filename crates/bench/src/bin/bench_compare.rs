@@ -1,0 +1,75 @@
+//! `bench_compare` — noise-aware diff of two bench JSON documents.
+//!
+//! ```sh
+//! bench_compare OLD.json NEW.json
+//! ```
+//!
+//! Compares every contended cell present in both documents (works on
+//! `BENCH_locks.json` and `BENCH_rwlock.json` alike) and reports the
+//! per-lock and overall **weighted geometric-mean** speedup of NEW
+//! over OLD. Instead of trusting every median equally, each cell's
+//! log-ratio is weighted by `1 / (1 + spread_old + spread_new)` using
+//! the recorded `contended_rel_spread`, and cells whose thread count
+//! oversubscribed either host (`oversubscribed_threads`) are
+//! additionally discounted ×0.25 — scheduler-bound cells may inform
+//! the verdict but not dominate it.
+//!
+//! Exits non-zero on unreadable/unparsable input or disjoint
+//! documents.
+
+use malthus_bench::compare::{compare, parse, OVERSUBSCRIBED_DISCOUNT};
+
+fn load(path: &str) -> malthus_bench::compare::Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {path} is not valid bench JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_compare <old.json> <new.json>");
+        std::process::exit(2);
+    }
+    let (old_path, new_path) = (&args[1], &args[2]);
+    let old = load(old_path);
+    let new = load(new_path);
+
+    let report = compare(&old, &new).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    });
+
+    println!("# {new_path} vs {old_path} (ratio > 1 means the new document is faster)");
+    println!(
+        "{:<28} {:>8} {:>14} {:>14} {:>8} {:>8}  flags",
+        "lock", "threads", "old ops/s", "new ops/s", "ratio", "weight"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<28} {:>8} {:>14.0} {:>14.0} {:>8.3} {:>8.3}  {}",
+            c.lock,
+            c.threads,
+            c.a,
+            c.b,
+            c.ratio,
+            c.weight,
+            if c.oversubscribed {
+                format!("oversubscribed (x{OVERSUBSCRIBED_DISCOUNT})")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!();
+    println!("# weighted geomean speedup (spread-weighted, oversubscription-discounted)");
+    for (lock, g) in &report.per_lock {
+        println!("{lock:<28} {g:>8.3}");
+    }
+    println!("{:<28} {:>8.3}", "OVERALL", report.overall);
+}

@@ -1,0 +1,194 @@
+//! Live RW-lock throughput harness: writes `BENCH_rwlock.json`.
+//!
+//! Sweeps read fraction × thread count for the Malthusian RW-CR lock
+//! against a `std::sync::RwLock` baseline, using the live
+//! `rwreadwrite` workload (every op is a whole-table read or a
+//! whole-table stamping write; torn reads would fail the run, so the
+//! numbers double as an exclusion check). Output follows the
+//! `BENCH_locks.json` interleaved median-of-trials format — one
+//! series per (lock, fraction), named `<lock>@r<pct>` — so
+//! `bench_compare` consumes it unchanged.
+//!
+//! Environment knobs:
+//!
+//! * `MALTHUS_RW_FRACTIONS` — comma-separated read percentages
+//!   (default `50,90,99`).
+//! * `MALTHUS_THREAD_SWEEP` — contended thread counts (default
+//!   `2,4,8`).
+//! * `MALTHUS_BENCH_ITERS` — uncontended read iterations (default
+//!   200000).
+//! * `MALTHUS_BENCH_MS` — contended interval per cell in milliseconds
+//!   (default 300).
+//! * `MALTHUS_BENCH_TRIALS` — trials per cell (default 5).
+//! * `MALTHUS_BENCH_OUT` — output path (default `BENCH_rwlock.json`).
+
+use std::sync::Arc;
+
+use malthus_bench::livebench::{to_json, Series};
+use malthus_bench::rwbench::{measure_rw_interleaved, RwFactory, BENCH_TABLE_SLOTS};
+use malthus_bench::{env_u64, thread_sweep};
+use malthus_rwlock::{RwCrLock, RwCrMutex, RwMutex};
+use malthus_workloads::rwreadwrite::SharedTableRw;
+
+fn fractions() -> Vec<u32> {
+    match std::env::var("MALTHUS_RW_FRACTIONS") {
+        Ok(v) => {
+            let parsed: Vec<u32> = v
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&f| f <= 100)
+                .collect();
+            if parsed.is_empty() {
+                eprintln!(
+                    "warning: MALTHUS_RW_FRACTIONS={v:?} contains no percentages; \
+                     using default 50,90,99"
+                );
+                vec![50, 90, 99]
+            } else {
+                parsed
+            }
+        }
+        Err(_) => vec![50, 90, 99],
+    }
+}
+
+fn main() {
+    let fractions = fractions();
+    let threads = thread_sweep(&[2, 4, 8]);
+    let uncontended_iters = env_u64("MALTHUS_BENCH_ITERS", 200_000);
+    let contended_ms = env_u64("MALTHUS_BENCH_MS", 300);
+    let out_path =
+        std::env::var("MALTHUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_rwlock.json".to_string());
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+
+    eprintln!(
+        "# bench_rwlock: fractions {fractions:?} x threads {threads:?}, \
+         {contended_ms} ms per cell, {host_cpus} host CPUs"
+    );
+
+    let named: Vec<(&str, RwFactory)> = vec![
+        (
+            "std::RwLock",
+            Box::new(|| {
+                Arc::new(std::sync::RwLock::new(vec![0u64; BENCH_TABLE_SLOTS]))
+                    as Arc<dyn SharedTableRw>
+            }),
+        ),
+        (
+            "RW-CR-S",
+            Box::new(|| {
+                Arc::new(RwMutex::with_raw(
+                    RwCrLock::spin(),
+                    vec![0u64; BENCH_TABLE_SLOTS],
+                )) as Arc<dyn SharedTableRw>
+            }),
+        ),
+        (
+            "RW-CR-STP",
+            Box::new(|| {
+                Arc::new(RwCrMutex::default_cr(vec![0u64; BENCH_TABLE_SLOTS]))
+                    as Arc<dyn SharedTableRw>
+            }),
+        ),
+    ];
+    let series: Vec<Series> = measure_rw_interleaved(
+        &named,
+        &fractions,
+        &threads,
+        uncontended_iters,
+        contended_ms,
+    );
+
+    // RW-CR vs std speedups per fraction (weighted aggregation is
+    // bench_compare's job; these are the raw per-cell ratios).
+    let speedup = |cr_name: &str| -> String {
+        let per_fraction: Vec<String> = fractions
+            .iter()
+            .map(|f| {
+                let cr = series
+                    .iter()
+                    .find(|s| s.name == format!("{cr_name}@r{f}"))
+                    .expect("series measured");
+                let base = series
+                    .iter()
+                    .find(|s| s.name == format!("std::RwLock@r{f}"))
+                    .expect("series measured");
+                let cells: Vec<String> = cr
+                    .contended
+                    .iter()
+                    .zip(&base.contended)
+                    .map(|(&(t, n), &(_, b))| format!("\"{t}\": {:.3}", n / b))
+                    .collect();
+                format!("\"r{f}\": {{{}}}", cells.join(", "))
+            })
+            .collect();
+        format!("{{{}}}", per_fraction.join(", "))
+    };
+    let extras = vec![
+        (
+            "speedup_vs_std_contended".to_string(),
+            format!(
+                "{{\"RW-CR-S\": {}, \"RW-CR-STP\": {}}}",
+                speedup("RW-CR-S"),
+                speedup("RW-CR-STP")
+            ),
+        ),
+        ("host_cpus".to_string(), host_cpus.to_string()),
+        (
+            "read_fractions".to_string(),
+            format!(
+                "[{}]",
+                fractions
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+        (
+            "threads_swept".to_string(),
+            format!(
+                "[{}]",
+                threads
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+        (
+            "oversubscribed_threads".to_string(),
+            format!(
+                "[{}]",
+                threads
+                    .iter()
+                    .filter(|&&t| t > host_cpus.max(1))
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>14}  contended ops/s (reads+writes)",
+        "series", "uncont read"
+    );
+    for s in &series {
+        let cont: Vec<String> = s
+            .contended
+            .iter()
+            .map(|(t, ops)| format!("{t}T:{ops:.0}"))
+            .collect();
+        println!(
+            "{:<22} {:>11.1} ns  {}",
+            s.name,
+            s.uncontended_ns,
+            cont.join("  ")
+        );
+    }
+
+    let json = to_json(&series, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_rwlock.json");
+    eprintln!("# wrote {out_path}");
+}

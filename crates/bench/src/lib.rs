@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod compare;
 pub mod livebench;
+pub mod rwbench;
 
 use malthus_machinesim::{RunReport, Simulation};
 use malthus_metrics::{format_table, Column};

@@ -113,7 +113,8 @@ pub struct Series {
 /// hosts. Override with `MALTHUS_BENCH_TRIALS`.
 pub const DEFAULT_TRIALS: usize = 5;
 
-fn trials() -> usize {
+/// Number of trials per cell, honouring `MALTHUS_BENCH_TRIALS`.
+pub fn trials() -> usize {
     std::env::var("MALTHUS_BENCH_TRIALS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -135,7 +136,7 @@ pub fn median(mut xs: Vec<f64>) -> f64 {
 /// Relative spread of a cell's trials: `(max - min) / median`.
 /// Zero for a single trial; the measure of how much scheduler noise
 /// the median had to shrug off.
-fn rel_spread(xs: &[f64]) -> f64 {
+pub fn rel_spread(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }

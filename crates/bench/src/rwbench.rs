@@ -1,0 +1,135 @@
+//! Read-fraction × thread-count measurement harness for the live
+//! reader-writer locks (the `bench_rwlock` binary).
+//!
+//! Same discipline as [`livebench`](crate::livebench): interleaved
+//! trial rounds (every series measured once per round, medians per
+//! cell) so slow host drift biases all series equally, per-cell
+//! relative spread recorded for downstream weighting. Each read
+//! fraction becomes its own [`Series`] named `<lock>@r<pct>`, so the
+//! emitted JSON has exactly the `BENCH_locks.json` shape and the
+//! `bench_compare` tooling works on it unchanged.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use malthus_workloads::rwreadwrite::{run_rw_loop, RwLoopShape, SharedTableRw};
+
+use crate::livebench::{median, rel_spread, trials, Series};
+
+/// A type-erased factory producing a fresh shared table per trial.
+pub type RwFactory = Box<dyn Fn() -> Arc<dyn SharedTableRw>>;
+
+/// Table slots used by the benchmark loop (every write stamps all of
+/// them, every read scans all of them — a small but real critical
+/// section on both sides).
+pub const BENCH_TABLE_SLOTS: usize = 64;
+
+/// Measures single-thread shared-acquisition latency in nanoseconds
+/// per read section (acquire + whole-table scan + release).
+pub fn uncontended_read_ns(table: &dyn SharedTableRw, iters: u64) -> f64 {
+    let mut sink = 0u64;
+    for _ in 0..(iters / 10).max(1) {
+        table.read_section(&mut |slots| sink = sink.wrapping_add(slots[0]));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        table.read_section(&mut |slots| sink = sink.wrapping_add(slots[0]));
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Measures the full (lock × fraction × threads) grid with
+/// interleaved trial rounds; one [`Series`] per (lock, fraction).
+///
+/// # Panics
+///
+/// Panics if a trial observes a torn read: that means the lock under
+/// measurement failed reader/writer exclusion, and its throughput
+/// number would be meaningless.
+pub fn measure_rw_interleaved(
+    named: &[(&str, RwFactory)],
+    fractions: &[u32],
+    threads: &[usize],
+    uncontended_iters: u64,
+    interval_ms: u64,
+) -> Vec<Series> {
+    let rounds = trials();
+    let cells = named.len() * fractions.len();
+    // The uncontended read latency is independent of the read
+    // fraction (single thread, reads only), so it is measured once
+    // per lock per round and shared across that lock's fractions.
+    let mut uncont: Vec<Vec<f64>> = vec![Vec::new(); named.len()];
+    let mut cont: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); threads.len()]; cells];
+    for round in 0..rounds {
+        for (li, (_, mk)) in named.iter().enumerate() {
+            uncont[li].push(uncontended_read_ns(&*mk(), uncontended_iters));
+            for (fi, &frac) in fractions.iter().enumerate() {
+                let idx = li * fractions.len() + fi;
+                for (ti, &t) in threads.iter().enumerate() {
+                    let shape = RwLoopShape::new(BENCH_TABLE_SLOTS, frac);
+                    let seed = 0xBE9C_0000 ^ (round as u64) << 16 ^ (idx as u64) << 8 ^ ti as u64;
+                    let report = run_rw_loop(mk(), t, interval_ms as f64 / 1_000.0, shape, seed);
+                    assert_eq!(
+                        report.torn_reads, 0,
+                        "torn reads under {} at r{frac}/t{t}",
+                        named[li].0
+                    );
+                    let secs = (interval_ms as f64 / 1_000.0).max(f64::EPSILON);
+                    cont[idx][ti].push(report.ops() as f64 / secs);
+                }
+            }
+        }
+    }
+    named
+        .iter()
+        .enumerate()
+        .flat_map(|(li, (name, _))| {
+            let uncont = &uncont;
+            let cont = &cont;
+            fractions.iter().enumerate().map(move |(fi, &frac)| {
+                let idx = li * fractions.len() + fi;
+                Series {
+                    name: format!("{name}@r{frac}"),
+                    uncontended_ns: median(uncont[li].clone()),
+                    contended: threads
+                        .iter()
+                        .enumerate()
+                        .map(|(ti, &t)| (t, median(cont[idx][ti].clone())))
+                        .collect(),
+                    contended_spread: threads
+                        .iter()
+                        .enumerate()
+                        .map(|(ti, &t)| (t, rel_spread(&cont[idx][ti])))
+                        .collect(),
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malthus_rwlock::RwCrMutex;
+
+    #[test]
+    fn rw_harness_measures_positive_numbers() {
+        std::env::set_var("MALTHUS_BENCH_TRIALS", "1");
+        let named: Vec<(&str, RwFactory)> = vec![(
+            "RW-CR-STP",
+            Box::new(|| {
+                Arc::new(RwCrMutex::default_cr(vec![0u64; BENCH_TABLE_SLOTS]))
+                    as Arc<dyn SharedTableRw>
+            }),
+        )];
+        let series = measure_rw_interleaved(&named, &[50, 99], &[1, 2], 500, 20);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert!(s.name.starts_with("RW-CR-STP@r"), "{}", s.name);
+            assert!(s.uncontended_ns > 0.0);
+            assert_eq!(s.contended.len(), 2);
+            assert!(s.contended.iter().all(|&(_, ops)| ops > 0.0));
+        }
+    }
+}

@@ -68,7 +68,7 @@ mod mcscr;
 mod mcscrn;
 mod mutex;
 mod node;
-mod pad;
+pub mod pad;
 pub mod policy;
 mod raw;
 mod semaphore;
@@ -88,6 +88,7 @@ pub use mcscr::{CrStats, McsCrLock};
 pub use mcscrn::{McsCrnLock, NumaStats};
 pub use mutex::{Mutex, MutexGuard};
 pub use node::{current_numa_node, set_current_numa_node};
+pub use pad::{CachePadded, LockCounter};
 pub use raw::RawLock;
 pub use semaphore::CrSemaphore;
 pub use tas::{TasLock, TatasLock};

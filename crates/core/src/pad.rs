@@ -13,6 +13,10 @@
 //! Apple silicon) and the adjacent-line prefetcher on 64-byte-line
 //! x86, which otherwise pulls neighbouring lines into the same
 //! coherence traffic.
+//!
+//! The primitives are public so sibling lock crates (e.g.
+//! `malthus-rwlock`) can apply the same field-grouping discipline
+//! without reimplementing it.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,13 +25,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// shares no cache line — nor prefetch pair — with its neighbours.
 #[derive(Debug, Default)]
 #[repr(align(128))]
-pub(crate) struct CachePadded<T> {
+pub struct CachePadded<T> {
     value: T,
 }
 
 impl<T> CachePadded<T> {
     /// Wraps `value` in its own cache-line-aligned slot.
-    pub(crate) const fn new(value: T) -> Self {
+    pub const fn new(value: T) -> Self {
         CachePadded { value }
     }
 }
@@ -62,11 +66,11 @@ impl<T> DerefMut for CachePadded<T> {
 /// unlocks. Exact totals are only guaranteed once the lock is
 /// quiescent (e.g. after joining all contending threads).
 #[derive(Debug, Default)]
-pub(crate) struct LockCounter(AtomicU64);
+pub struct LockCounter(AtomicU64);
 
 impl LockCounter {
     /// Creates a zeroed counter.
-    pub(crate) const fn new() -> Self {
+    pub const fn new() -> Self {
         LockCounter(AtomicU64::new(0))
     }
 
@@ -74,7 +78,7 @@ impl LockCounter {
     /// lock serializes writers, which is what makes the non-atomic
     /// load+store pair lossless.
     #[inline]
-    pub(crate) fn bump(&self) {
+    pub fn bump(&self) {
         self.0
             .store(self.0.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
     }
@@ -82,7 +86,7 @@ impl LockCounter {
     /// Adds `n` to the counter under the same contract as
     /// [`LockCounter::bump`].
     #[inline]
-    pub(crate) fn add(&self, n: u64) {
+    pub fn add(&self, n: u64) {
         self.0
             .store(self.0.load(Ordering::Relaxed) + n, Ordering::Relaxed);
     }
@@ -90,7 +94,7 @@ impl LockCounter {
     /// Racy snapshot read; see the type docs for the freshness
     /// contract.
     #[inline]
-    pub(crate) fn get(&self) -> u64 {
+    pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -5,8 +5,9 @@
 //! must make the *same* admission decisions for the reproduction to be
 //! faithful, so the decisions are factored out here: when to cull,
 //! when to reprovision, and when to pay the long-term-fairness tax —
-//! both at lock level ([`should_cull`]/[`should_reprovision`]) and one
-//! layer up at task-scheduler level
+//! both at lock level ([`should_cull`]/[`should_reprovision`]), for
+//! the read-write lock's shared side ([`rw_reader_batch`], consumed by
+//! `malthus-rwlock`), and one layer up at task-scheduler level
 //! ([`crew_has_surplus`]/[`crew_should_reprovision`], §7's "applies to
 //! any contended resource").
 
@@ -114,6 +115,20 @@ pub fn crew_has_surplus(active_workers: usize, acs_limit: usize) -> bool {
 /// trigger.
 pub fn crew_should_reprovision(backlog: usize, high_watermark: usize, passive_len: usize) -> bool {
     backlog >= high_watermark && passive_len > 0
+}
+
+/// Reader-reprovisioning batch for a concurrency-restricting
+/// read-write lock.
+///
+/// When a write episode ends (or a reader cascade fires), at most this
+/// many passivated readers are granted read slots at once, so the
+/// active reader set ramps toward — but never jumps past — the
+/// admission limit. The remaining passive readers are admitted by the
+/// cascade (each granted reader pulls the next once it is running) or
+/// by the next write episode, keeping the circulating set bounded the
+/// same way [`should_cull`] bounds a mutex's chain.
+pub fn rw_reader_batch(passive_len: usize, acs_limit: usize) -> usize {
+    passive_len.min(acs_limit.max(1))
 }
 
 /// Mixed append/prepend discipline for CR wait lists (condvars,
@@ -238,6 +253,16 @@ mod tests {
         assert!(crew_should_reprovision(4, 4, 3));
         assert!(crew_should_reprovision(9, 4, 1));
         assert!(!crew_should_reprovision(9, 4, 0));
+    }
+
+    #[test]
+    fn rw_reader_batch_bounds() {
+        assert_eq!(rw_reader_batch(0, 4), 0);
+        assert_eq!(rw_reader_batch(3, 4), 3);
+        assert_eq!(rw_reader_batch(10, 4), 4);
+        // A zero admission limit still makes progress (work
+        // conservation: at least one reader per grant opportunity).
+        assert_eq!(rw_reader_batch(10, 0), 1);
     }
 
     #[test]

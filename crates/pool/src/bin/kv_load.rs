@@ -3,8 +3,11 @@
 //! Opens `MALTHUS_KV_CONNS` connections, each running a closed loop
 //! of mixed `GET`/`PUT` requests over a xorshift key stream for
 //! `MALTHUS_KV_SECONDS`, then reports aggregate throughput and
-//! p50/p99 request latency from a shared
-//! [`LatencyHistogram`](malthus_metrics::LatencyHistogram).
+//! p50/p99 request latency from **separate**
+//! [`LatencyHistogram`](malthus_metrics::LatencyHistogram)s for `GET`
+//! and `PUT`, so the shared-read DB lock's effect on the read path is
+//! visible end to end (GETs ride the RW-CR read side; PUTs pay writer
+//! admission).
 //!
 //! Environment knobs:
 //!
@@ -60,14 +63,19 @@ fn main() {
     let send_shutdown = std::env::var("MALTHUS_KV_SHUTDOWN").is_ok_and(|v| v == "1");
 
     eprintln!("# kv_load: {conns} connections x {seconds} s against {addr}");
-    let hist = Arc::new(LatencyHistogram::new());
+    // Separate GET/PUT histograms: the DB lock is a Malthusian RwLock,
+    // so the read and write paths have different admission costs and
+    // lumping them together would hide the read-side win.
+    let get_hist = Arc::new(LatencyHistogram::new());
+    let put_hist = Arc::new(LatencyHistogram::new());
     let stop = Arc::new(AtomicBool::new(false));
     let errors = Arc::new(AtomicU64::new(0));
 
     let started = Instant::now();
     let workers: Vec<_> = (0..conns)
         .map(|c| {
-            let hist = Arc::clone(&hist);
+            let get_hist = Arc::clone(&get_hist);
+            let put_hist = Arc::clone(&put_hist);
             let stop = Arc::clone(&stop);
             let errors = Arc::clone(&errors);
             std::thread::spawn(move || {
@@ -76,7 +84,8 @@ fn main() {
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.next_below(keys);
-                    let req = if rng.next_below(100) < put_pct {
+                    let is_put = rng.next_below(100) < put_pct;
+                    let req = if is_put {
                         format!("PUT {key} {}", key.wrapping_mul(31))
                     } else {
                         format!("GET {key}")
@@ -89,7 +98,11 @@ fn main() {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(_) => {
-                            hist.record(t0.elapsed());
+                            if is_put {
+                                put_hist.record(t0.elapsed());
+                            } else {
+                                get_hist.record(t0.elapsed());
+                            }
                             ops += 1;
                         }
                         Err(_) => {
@@ -108,12 +121,19 @@ fn main() {
     let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let elapsed = started.elapsed().as_secs_f64();
 
-    let (p50, p99) = hist.p50_p99();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let (get_p50, get_p99) = get_hist.p50_p99();
+    let (put_p50, put_p99) = put_hist.p50_p99();
     println!(
-        "ops {total}  ops/s {:.0}  p50_us {:.1}  p99_us {:.1}  errors {}",
+        "ops {total}  ops/s {:.0}  gets {}  get_p50_us {:.1}  get_p99_us {:.1}  \
+         puts {}  put_p50_us {:.1}  put_p99_us {:.1}  errors {}",
         total as f64 / elapsed,
-        p50.as_secs_f64() * 1e6,
-        p99.as_secs_f64() * 1e6,
+        get_hist.count(),
+        us(get_p50),
+        us(get_p99),
+        put_hist.count(),
+        us(put_p50),
+        us(put_p99),
         errors.load(Ordering::Relaxed)
     );
     assert!(total > 0, "load generator completed no operations");

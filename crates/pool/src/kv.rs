@@ -3,12 +3,19 @@
 //! §6.5 of the paper evaluates CR inside leveldb, whose "central
 //! database lock and internal LRUCache locks are highly contended".
 //! This module serves that same storage shape —
-//! [`MiniKv`](malthus_storage::MiniKv) behind a Malthusian DB lock
-//! plus a [`SimpleLru`](malthus_storage::SimpleLru) block cache behind
-//! its own — over TCP, with request execution dispatched onto a
+//! [`MiniKv`](malthus_storage::MiniKv) behind a Malthusian
+//! **read-write** DB lock ([`RwCrMutex`]) plus a
+//! [`SimpleLru`](malthus_storage::SimpleLru) block cache behind an
+//! MCSCR mutex — over TCP, with request execution dispatched onto a
 //! [`WorkCrew`], so admission control operates at *both* layers: the
-//! crew restricts how many threads run at all, and the MCSCR locks
+//! crew restricts how many threads run at all, and the CR locks
 //! restrict circulation on the hot data.
+//!
+//! `GET`s take the DB lock *shared*, so point lookups run genuinely
+//! concurrently; memtable hits never touch the exclusive block-cache
+//! lock at all (the run scan, which does model block traffic, is the
+//! only part that serializes on it). `PUT`s take the DB lock
+//! exclusive and pay the usual Malthusian writer admission.
 //!
 //! The wire protocol is line-oriented text (one request, one response):
 //!
@@ -17,7 +24,7 @@
 //! | `PUT <key> <value>` | `OK` |
 //! | `GET <key>` | `VAL <value>` or `NIL` |
 //! | `PING` | `PONG` |
-//! | `STATS` | `STATS reads=<n> writes=<n> completed=<n> culls=<n> reprovisions=<n> promotions=<n>` |
+//! | `STATS` | `STATS reads=<n> writes=<n> completed=<n> culls=<n> reprovisions=<n> promotions=<n> rculls=<n> rgrants=<n>` |
 //! | `SHUTDOWN` | `OK` then the server stops accepting |
 //! | `QUIT` | connection closes |
 //! | anything else | `ERR <reason>` |
@@ -32,6 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use malthus::{current_thread_index, McsCrMutex};
+use malthus_rwlock::RwCrMutex;
 use malthus_storage::{MiniKv, SimpleLru};
 
 use crate::crew::WorkCrew;
@@ -90,9 +98,11 @@ impl Request {
 
 /// The shared storage state: the two contended locks of §6.5.
 pub struct KvService {
-    /// The central database lock (memtable + runs).
-    db: McsCrMutex<MiniKv>,
-    /// The block-cache lock.
+    /// The central database lock (memtable + runs). Readers share it;
+    /// writers (and, under writer pressure, surplus readers) pay
+    /// Malthusian admission.
+    db: RwCrMutex<MiniKv>,
+    /// The block-cache lock (exclusive: every lookup edits recency).
     cache: McsCrMutex<SimpleLru>,
 }
 
@@ -101,30 +111,42 @@ impl KvService {
     /// capacity.
     pub fn new(memtable_limit: usize, cache_blocks: usize) -> Self {
         KvService {
-            db: McsCrMutex::default_cr(MiniKv::new(memtable_limit)),
+            db: RwCrMutex::default_cr(MiniKv::new(memtable_limit)),
             cache: McsCrMutex::default_cr(SimpleLru::new(cache_blocks)),
         }
     }
 
-    /// Inserts or updates a key.
+    /// Inserts or updates a key (exclusive DB access).
     pub fn put(&self, key: u64, value: u64) {
-        self.db.lock().put(key, value);
+        self.db.write().put(key, value);
     }
 
     /// Point lookup through memtable, runs, and the block cache.
+    ///
+    /// Takes the DB lock *shared*: concurrent `get`s overlap on the
+    /// memtable and runs. The exclusive cache lock is only taken when
+    /// the memtable misses and the frozen runs (whose block traffic
+    /// the cache models) must be consulted — both locks then nest in
+    /// the fixed db → cache order, mirroring leveldb's read path.
     pub fn get(&self, key: u64) -> Option<u64> {
-        // Both locks are taken in a fixed order (db then cache),
-        // mirroring leveldb's read path.
         let tid = current_thread_index();
-        let db = self.db.lock();
+        let db = self.db.read();
+        if let Some(v) = db.get_memtable(key) {
+            return Some(v);
+        }
         let mut cache = self.cache.lock();
-        db.get(key, &mut cache, tid)
+        db.get_runs(key, &mut cache, tid)
     }
 
     /// `(reads, writes)` served so far (exact while quiescent).
     pub fn counters(&self) -> (u64, u64) {
-        let db = self.db.lock();
+        let db = self.db.read();
         (db.reads(), db.writes())
+    }
+
+    /// CR statistics of the DB read-write lock (reader culls/grants).
+    pub fn db_lock_stats(&self) -> malthus_rwlock::RwStats {
+        self.db.raw().stats()
     }
 
     /// Executes a request and renders its response line. `Quit` and
@@ -144,10 +166,16 @@ impl KvService {
             Request::Stats => {
                 let (reads, writes) = self.counters();
                 let s = crew.stats();
+                let db = self.db_lock_stats();
                 format!(
                     "STATS reads={reads} writes={writes} completed={} culls={} \
-                     reprovisions={} promotions={}",
-                    s.completed, s.culls, s.reprovisions, s.fairness_promotions
+                     reprovisions={} promotions={} rculls={} rgrants={}",
+                    s.completed,
+                    s.culls,
+                    s.reprovisions,
+                    s.fairness_promotions,
+                    db.reader_culls,
+                    db.reader_reprovisions + db.reader_fairness_grants
                 )
             }
             Request::Shutdown | Request::Quit => "OK".to_string(),
@@ -419,6 +447,52 @@ mod tests {
         let (reads, writes) = svc.counters();
         assert_eq!(reads, 41);
         assert_eq!(writes, 40);
+    }
+
+    #[test]
+    fn gets_run_concurrently_under_the_db_lock() {
+        // Two readers must be able to hold the DB lock simultaneously:
+        // one thread parks *inside* a read guard while another
+        // completes a full `get` through the service API. With an
+        // exclusive DB lock the `get` would block until the guard
+        // dropped and the recv_timeout below would fire.
+        let svc = Arc::new(KvService::new(64, 256));
+        svc.put(10, 11);
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let guard = svc.db.read(); // first reader in
+                tx.send(guard.reads()).unwrap();
+                // Hold the shared lock until the main thread's get has
+                // finished.
+                release_rx.recv().unwrap();
+                drop(guard);
+            })
+        };
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("holder must acquire the read lock");
+
+        let (got_tx, got_rx) = std::sync::mpsc::channel();
+        let getter = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                got_tx.send(svc.get(10)).unwrap();
+            })
+        };
+        let got = got_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("get must complete while another reader holds the DB lock");
+        assert_eq!(got, Some(11));
+
+        // Writers are still excluded while the read guard lives.
+        assert!(svc.db.try_write().is_none());
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        getter.join().unwrap();
+        assert!(svc.db.try_write().is_some());
     }
 
     #[test]

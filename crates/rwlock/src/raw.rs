@@ -1,0 +1,48 @@
+//! The raw reader-writer interface, mirroring `malthus::RawLock`.
+
+/// A raw reader-writer lock.
+///
+/// Implementations provide shared/exclusive exclusion only; data
+/// protection is layered on top by [`RwMutex`](crate::RwMutex). The
+/// trait is `unsafe` because the guard types rely on the
+/// implementation actually providing the advertised exclusion.
+///
+/// # Safety
+///
+/// An implementor must guarantee that while any thread holds the
+/// write side, no other thread holds either side, and that read-side
+/// holders only ever coexist with other read-side holders.
+pub unsafe trait RawRwLock: Send + Sync {
+    /// Acquires the lock for shared (read) access, blocking per the
+    /// lock's waiting policy.
+    fn read_lock(&self);
+
+    /// Attempts to acquire shared access without waiting.
+    fn try_read_lock(&self) -> bool;
+
+    /// Releases one shared acquisition.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once per shared acquisition, by the
+    /// thread that acquired it, while it is held.
+    unsafe fn read_unlock(&self);
+
+    /// Acquires the lock for exclusive (write) access.
+    fn write_lock(&self);
+
+    /// Attempts to acquire exclusive access without waiting.
+    fn try_write_lock(&self) -> bool;
+
+    /// Releases the exclusive acquisition.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once per exclusive acquisition, by the
+    /// thread that acquired it, while it is held.
+    unsafe fn write_unlock(&self);
+
+    /// A short human-readable algorithm name (used by benchmark
+    /// output).
+    fn name(&self) -> &'static str;
+}

@@ -10,8 +10,8 @@
 //! Like leveldb, reads consult the memtable, then the frozen runs via
 //! the block cache.
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::simplelru::SimpleLru;
 
@@ -19,22 +19,21 @@ use crate::simplelru::SimpleLru;
 /// cache.
 ///
 /// Not internally synchronized: the benchmark wraps the *database*
-/// (memtable + runs) in one mutex and the block cache in another,
+/// (memtable + runs) in one lock and the block cache in another,
 /// matching the two contended locks of §6.5. The read/write counters
-/// live in [`Cell`]s so [`MiniKv::get`] — which never mutates the
-/// store proper — can take `&self`; like the locks' `cr_stats`, the
-/// counters are serialized by the external lock that owns the store
-/// (the `Cell`s make `MiniKv` `!Sync`, so unserialized sharing is
-/// rejected at compile time) and snapshot reads are exact only while
-/// that lock is quiescent.
+/// are relaxed atomics so the read path ([`MiniKv::get`],
+/// [`MiniKv::get_memtable`]) takes `&self` **and** `MiniKv` is `Sync`
+/// — several readers may share the store at once behind a Malthusian
+/// read-write lock. Like the locks' `cr_stats`, counter snapshots are
+/// tear-free but exact only while the owning lock is quiescent.
 #[derive(Debug)]
 pub struct MiniKv {
     memtable: BTreeMap<u64, u64>,
     /// Immutable runs, newest first. Each run is sorted.
     runs: Vec<Vec<(u64, u64)>>,
     memtable_limit: usize,
-    writes: Cell<u64>,
-    reads: Cell<u64>,
+    writes: AtomicU64,
+    reads: AtomicU64,
 }
 
 impl MiniKv {
@@ -50,14 +49,14 @@ impl MiniKv {
             memtable: BTreeMap::new(),
             runs: Vec::new(),
             memtable_limit,
-            writes: Cell::new(0),
-            reads: Cell::new(0),
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
         }
     }
 
     /// Inserts or updates a key; may freeze the memtable into a run.
     pub fn put(&mut self, key: u64, value: u64) {
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         self.memtable.insert(key, value);
         if self.memtable.len() >= self.memtable_limit {
             let run: Vec<(u64, u64)> = std::mem::take(&mut self.memtable).into_iter().collect();
@@ -80,14 +79,29 @@ impl MiniKv {
     /// Point lookup through memtable then runs; `cache` is consulted
     /// per run block touched (modeling block-cache traffic).
     ///
-    /// Takes `&self`: lookups only bump the `Cell`-based read counter,
-    /// so a future read-path optimization (e.g. a Malthusian RwLock)
-    /// can serve gets without exclusive access to the store.
+    /// Takes `&self` and counts one read: the whole read path works
+    /// through a shared reference, so a Malthusian read-write lock can
+    /// serve gets without exclusive access to the store.
     pub fn get(&self, key: u64, cache: &mut SimpleLru, thread: u32) -> Option<u64> {
-        self.reads.set(self.reads.get() + 1);
-        if let Some(&v) = self.memtable.get(&key) {
-            return Some(v);
-        }
+        self.get_memtable(key)
+            .or_else(|| self.get_runs(key, cache, thread))
+    }
+
+    /// The first half of the read path: memtable only, no block-cache
+    /// traffic. Counts one read.
+    ///
+    /// Split out so a caller holding only a *shared* DB lock can serve
+    /// memtable hits without ever touching the (exclusive) block-cache
+    /// lock; on a miss it continues with [`MiniKv::get_runs`].
+    pub fn get_memtable(&self, key: u64) -> Option<u64> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.memtable.get(&key).copied()
+    }
+
+    /// The second half of the read path: the frozen runs, consulting
+    /// `cache` once per run touched. Does **not** count a read (the
+    /// preceding [`MiniKv::get_memtable`] already did).
+    pub fn get_runs(&self, key: u64, cache: &mut SimpleLru, thread: u32) -> Option<u64> {
         for (run_idx, run) in self.runs.iter().enumerate() {
             // One cache lookup per run consulted: block id = run plus
             // the key's block within the run.
@@ -107,12 +121,12 @@ impl MiniKv {
 
     /// Writes accepted.
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        self.writes.load(Ordering::Relaxed)
     }
 
     /// Reads served.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Number of frozen runs.
@@ -196,6 +210,42 @@ mod tests {
         assert_eq!(shared.get(2, &mut c, 0), None);
         assert_eq!(shared.reads(), 2);
         assert_eq!(shared.writes(), 1);
+    }
+
+    #[test]
+    fn minikv_is_sync_for_shared_readers() {
+        // The RW-lock read path hands `&MiniKv` to several threads at
+        // once; the store must stay `Sync` (relaxed-atomic counters).
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<MiniKv>();
+    }
+
+    #[test]
+    fn split_read_path_matches_get() {
+        let mut kv = MiniKv::new(4);
+        let mut c = cache();
+        // 17 inserts with limit 4: freezes after keys 3/7/11/15, so
+        // key 16 is guaranteed memtable-resident afterwards.
+        for k in 0..17u64 {
+            kv.put(k, k + 100);
+        }
+        for k in 0..17u64 {
+            let via_split = kv.get_memtable(k).or_else(|| kv.get_runs(k, &mut c, 0));
+            assert_eq!(via_split, Some(k + 100), "key {k}");
+        }
+        // Memtable-resident keys never touch the cache via the split
+        // path; frozen keys do.
+        let memtable_key = 16u64;
+        let before = c.stats().hits + c.stats().misses;
+        assert_eq!(
+            kv.get_memtable(memtable_key),
+            Some(memtable_key + 100),
+            "key {memtable_key} must be memtable-resident"
+        );
+        let after = c.stats().hits + c.stats().misses;
+        assert_eq!(before, after, "memtable hit must skip the cache");
+        // One read counted per split-path lookup (17 + the probe).
+        assert_eq!(kv.reads(), 18);
     }
 
     #[test]

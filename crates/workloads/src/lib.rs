@@ -20,6 +20,7 @@
 //! | [`perlish`] | Fig. 13 | CR via condvars (interpreted code) |
 //! | [`bufferpool`] | Fig. 14 | append-probability sweep |
 //! | [`pool_saturation`] | §7 (beyond locks) | scheduler-level CR via the work crew |
+//! | [`rwreadwrite`] | §6.5 (live, RW locks) | read-fraction sweep over the RW-CR lock |
 //!
 //! [`LockChoice`] names the lock configurations of the figures
 //! (`MCS-S`, `MCS-STP`, `MCSCR-S`, `MCSCR-STP`, `null`).
@@ -40,6 +41,7 @@ pub mod prodcons;
 pub mod randarray;
 pub mod readwhilewriting;
 pub mod ringwalker;
+pub mod rwreadwrite;
 pub mod stress_latency;
 
 pub use choice::LockChoice;

@@ -1,0 +1,227 @@
+//! Live read-write variant of `readwhilewriting` (§6.5) with a
+//! tunable read fraction.
+//!
+//! [`readwhilewriting`](crate::readwhilewriting) models leveldb's
+//! figure-8 contention structure on the simulator with *mutual
+//! exclusion* locks. This module is its live counterpart for the new
+//! RW-CR lock family: real threads over a real shared table, where
+//! every operation is a read with probability `read_fraction_pct` and
+//! a write otherwise — the knob `db_bench` exposes as the
+//! read/write mix. Because readers *share* an RW lock, throughput at
+//! high read fractions is where a reader-writer lock earns its keep;
+//! the write fraction is what exercises writer admission and reader
+//! culling.
+//!
+//! The table invariant doubles as a correctness oracle: each write
+//! stamps **every** slot with one value, and each read scans the
+//! whole table and counts a *torn read* if it observes two different
+//! stamps — impossible unless reader/writer exclusion is broken, so
+//! the stress tests assert the count is zero.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use malthus_park::XorShift64;
+use malthus_rwlock::{RawRwLock, RwMutex};
+
+/// A reader-writer-locked `u64` table, type-erased so the same runner
+/// drives `std::sync::RwLock` and every [`RawRwLock`] implementation.
+pub trait SharedTableRw: Send + Sync {
+    /// Runs `f` under shared access.
+    fn read_section(&self, f: &mut dyn FnMut(&[u64]));
+    /// Runs `f` under exclusive access.
+    fn write_section(&self, f: &mut dyn FnMut(&mut [u64]));
+    /// Series label for benchmark output.
+    fn label(&self) -> String;
+}
+
+impl SharedTableRw for std::sync::RwLock<Vec<u64>> {
+    fn read_section(&self, f: &mut dyn FnMut(&[u64])) {
+        f(&self.read().expect("not poisoned"));
+    }
+
+    fn write_section(&self, f: &mut dyn FnMut(&mut [u64])) {
+        f(&mut self.write().expect("not poisoned"));
+    }
+
+    fn label(&self) -> String {
+        "std::RwLock".to_string()
+    }
+}
+
+impl<R: RawRwLock> SharedTableRw for RwMutex<Vec<u64>, R> {
+    fn read_section(&self, f: &mut dyn FnMut(&[u64])) {
+        f(&self.read());
+    }
+
+    fn write_section(&self, f: &mut dyn FnMut(&mut [u64])) {
+        f(&mut self.write());
+    }
+
+    fn label(&self) -> String {
+        self.raw().name().to_string()
+    }
+}
+
+/// Geometry of the live RW loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RwLoopShape {
+    /// Shared table size in `u64` slots (every write stamps all of
+    /// them; every read scans all of them).
+    pub slots: usize,
+    /// Percentage of operations that are reads (0–100).
+    pub read_fraction_pct: u32,
+}
+
+impl RwLoopShape {
+    /// A shape with `slots` table slots and the given read fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or the fraction exceeds 100.
+    pub fn new(slots: usize, read_fraction_pct: u32) -> Self {
+        assert!(slots > 0, "table must have slots");
+        assert!(read_fraction_pct <= 100, "fraction is a percentage");
+        RwLoopShape {
+            slots,
+            read_fraction_pct,
+        }
+    }
+}
+
+/// Aggregate result of one [`run_rw_loop`] interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RwLoopReport {
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    /// Reads that observed two different stamps in one scan. Always
+    /// zero unless reader/writer exclusion is broken.
+    pub torn_reads: u64,
+}
+
+impl RwLoopReport {
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Runs `threads` real threads for `seconds` over `table` with the
+/// given shape; xorshift-driven op choice, deterministic per thread
+/// given `seed`.
+pub fn run_rw_loop(
+    table: Arc<dyn SharedTableRw>,
+    threads: usize,
+    seconds: f64,
+    shape: RwLoopShape,
+    seed: u64,
+) -> RwLoopReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let torn = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        let reads = Arc::clone(&reads);
+        let writes = Arc::clone(&writes);
+        let torn = Arc::clone(&torn);
+        handles.push(std::thread::spawn(move || {
+            let rng = XorShift64::new(seed ^ (0xB10C_ED00 + t as u64));
+            let mut local_reads = 0u64;
+            let mut local_writes = 0u64;
+            let mut local_torn = 0u64;
+            let mut sink = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if rng.next_below(100) < shape.read_fraction_pct as u64 {
+                    table.read_section(&mut |slots| {
+                        let first = slots[0];
+                        sink = sink.wrapping_add(first);
+                        if slots.iter().any(|&s| s != first) {
+                            local_torn += 1;
+                        }
+                    });
+                    local_reads += 1;
+                } else {
+                    let stamp = rng.next_u64();
+                    table.write_section(&mut |slots| {
+                        for s in slots.iter_mut() {
+                            *s = stamp;
+                        }
+                    });
+                    local_writes += 1;
+                }
+            }
+            std::hint::black_box(sink);
+            reads.fetch_add(local_reads, Ordering::Relaxed);
+            writes.fetch_add(local_writes, Ordering::Relaxed);
+            torn.fetch_add(local_torn, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    RwLoopReport {
+        reads: reads.load(Ordering::SeqCst),
+        writes: writes.load(Ordering::SeqCst),
+        torn_reads: torn.load(Ordering::SeqCst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malthus_rwlock::RwCrMutex;
+
+    fn table_cr(slots: usize) -> Arc<dyn SharedTableRw> {
+        Arc::new(RwCrMutex::default_cr(vec![0u64; slots]))
+    }
+
+    fn table_std(slots: usize) -> Arc<dyn SharedTableRw> {
+        Arc::new(std::sync::RwLock::new(vec![0u64; slots]))
+    }
+
+    #[test]
+    fn live_rw_loop_completes_and_is_consistent() {
+        let r = run_rw_loop(table_cr(32), 4, 0.2, RwLoopShape::new(32, 90), 7);
+        assert!(r.ops() > 0);
+        assert!(r.reads > 0, "{r:?}");
+        assert!(r.writes > 0, "{r:?}");
+        assert_eq!(r.torn_reads, 0, "{r:?}");
+    }
+
+    #[test]
+    fn std_baseline_also_runs() {
+        let r = run_rw_loop(table_std(32), 4, 0.2, RwLoopShape::new(32, 50), 11);
+        assert!(r.ops() > 0);
+        assert_eq!(r.torn_reads, 0, "{r:?}");
+    }
+
+    #[test]
+    fn pure_fractions_degenerate_cleanly() {
+        let all_reads = run_rw_loop(table_cr(8), 2, 0.1, RwLoopShape::new(8, 100), 3);
+        assert_eq!(all_reads.writes, 0);
+        assert!(all_reads.reads > 0);
+        let all_writes = run_rw_loop(table_cr(8), 2, 0.1, RwLoopShape::new(8, 0), 5);
+        assert_eq!(all_writes.reads, 0);
+        assert!(all_writes.writes > 0);
+    }
+
+    #[test]
+    fn labels_name_the_algorithms() {
+        assert_eq!(table_std(1).label(), "std::RwLock");
+        assert_eq!(table_cr(1).label(), "RW-CR-STP");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction is a percentage")]
+    fn fraction_over_100_panics() {
+        RwLoopShape::new(8, 101);
+    }
+}

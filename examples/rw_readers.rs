@@ -1,0 +1,60 @@
+//! Demonstrates the Malthusian reader-writer lock: readers share, a
+//! writer stream pays admission, surplus readers are culled onto the
+//! passive list during write episodes and drained back in bounded
+//! batches afterwards.
+//!
+//! ```sh
+//! cargo run --release --example rw_readers
+//! # knobs: MALTHUS_BENCH_MS (interval per phase, default 300)
+//! ```
+
+use std::sync::Arc;
+
+use malthusian::rwlock::RwCrMutex;
+use malthusian::workloads::rwreadwrite::{run_rw_loop, RwLoopShape, SharedTableRw};
+
+fn interval_ms() -> u64 {
+    std::env::var("MALTHUS_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn main() {
+    let seconds = interval_ms() as f64 / 1_000.0;
+    let threads = 4;
+    println!("# RW-CR under {threads} threads, {seconds:.2} s per read fraction");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "read %", "reads", "writes", "torn", "culls", "grants", "eldest"
+    );
+    for read_pct in [50u32, 90, 99] {
+        let table = Arc::new(RwCrMutex::default_cr(vec![0u64; 64]));
+        let report = run_rw_loop(
+            Arc::clone(&table) as Arc<dyn SharedTableRw>,
+            threads,
+            seconds,
+            RwLoopShape::new(64, read_pct),
+            0xE9A0 + read_pct as u64,
+        );
+        let stats = table.raw().stats();
+        println!(
+            "{:<10} {:>12} {:>12} {:>10} {:>8} {:>8} {:>8}",
+            format!("r{read_pct}"),
+            report.reads,
+            report.writes,
+            report.torn_reads,
+            stats.reader_culls,
+            stats.reader_reprovisions,
+            stats.reader_fairness_grants
+        );
+        assert_eq!(report.torn_reads, 0, "reader observed a torn write");
+        assert_eq!(
+            stats.reader_culls,
+            stats.reader_reprovisions + stats.reader_fairness_grants,
+            "every culled reader must be woken exactly once: {stats:?}"
+        );
+    }
+    println!("# torn = reads that saw two stamps (must be 0: exclusion holds)");
+    println!("# culls = reader passivation episodes; grants/eldest = wakeups");
+}

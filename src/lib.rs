@@ -6,6 +6,8 @@
 //! * [`locks`] — the concurrency-restricting lock algorithms
 //!   (`McsCrLock`, `LoiterLock`, `LifoCrLock`, `McsCrnLock`) plus
 //!   baselines, `Mutex`/`Condvar`/`Semaphore` wrappers.
+//! * [`rwlock`] — the Malthusian reader-writer lock (`RwCrLock`) and
+//!   its `RwMutex` RAII wrapper.
 //! * [`park`] — the park/unpark waiting substrate.
 //! * [`metrics`] — LWSS, MTTR, Gini, RSTDDEV fairness metrics.
 //! * [`cachesim`] — the installer-tagged cache/TLB emulation.
@@ -37,5 +39,6 @@ pub use malthus_machinesim as machinesim;
 pub use malthus_metrics as metrics;
 pub use malthus_park as park;
 pub use malthus_pool as pool;
+pub use malthus_rwlock as rwlock;
 pub use malthus_storage as storage;
 pub use malthus_workloads as workloads;
