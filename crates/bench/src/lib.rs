@@ -43,12 +43,13 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Returns the thread counts to sweep: `MALTHUS_THREAD_SWEEP` (a
-/// comma-separated list, e.g. `1,2,4`) when set and non-empty,
-/// otherwise `default`. CI smoke runs use the override so figure
-/// binaries don't sweep to 256 simulated threads.
-pub fn thread_sweep(default: &[usize]) -> Vec<usize> {
-    match std::env::var("MALTHUS_THREAD_SWEEP") {
+/// Reads a comma-separated list of positive integers from the
+/// environment variable `name`, falling back to `default` when the
+/// variable is unset — with a warning (not a silent fallback) when it
+/// is set but unusable, so a typo'd CI override cannot quietly run a
+/// full-size sweep.
+pub fn env_sweep(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
         Ok(v) => {
             let parsed: Vec<usize> = v
                 .split(',')
@@ -56,11 +57,8 @@ pub fn thread_sweep(default: &[usize]) -> Vec<usize> {
                 .filter(|&t| t > 0)
                 .collect();
             if parsed.is_empty() {
-                // A set-but-unusable override must not silently run
-                // the full default sweep — in CI that turns a smoke
-                // run into a 256-thread simulation.
                 eprintln!(
-                    "warning: MALTHUS_THREAD_SWEEP={v:?} contains no positive integers; \
+                    "warning: {name}={v:?} contains no positive integers; \
                      using default sweep {default:?}"
                 );
                 default.to_vec()
@@ -70,6 +68,14 @@ pub fn thread_sweep(default: &[usize]) -> Vec<usize> {
         }
         Err(_) => default.to_vec(),
     }
+}
+
+/// Returns the thread counts to sweep: `MALTHUS_THREAD_SWEEP` (a
+/// comma-separated list, e.g. `1,2,4`) when set and non-empty,
+/// otherwise `default`. CI smoke runs use the override so figure
+/// binaries don't sweep to 256 simulated threads.
+pub fn thread_sweep(default: &[usize]) -> Vec<usize> {
+    env_sweep("MALTHUS_THREAD_SWEEP", default)
 }
 
 /// Runs a figure: for each thread count and lock series, build a

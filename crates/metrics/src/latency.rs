@@ -132,6 +132,30 @@ impl LatencyHistogram {
     pub fn p50_p99(&self) -> (Duration, Duration) {
         (self.quantile(0.50), self.quantile(0.99))
     }
+
+    /// Folds `other`'s observations into `self`, bucket by bucket.
+    ///
+    /// This is what makes per-partition histograms (per shard, per
+    /// op type, per connection) composable into service-wide numbers:
+    /// buckets are exact counters, so merging loses nothing — unlike
+    /// merging quantiles, which is not meaningful. `other` is
+    /// unchanged. Concurrent recording into either histogram during
+    /// the merge makes the result a racy snapshot (same contract as
+    /// [`LatencyHistogram::quantile`]).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        let mut total = 0u64;
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+                total += n;
+            }
+        }
+        // Derive the count from the buckets actually copied, not from
+        // other.count: a racing record could otherwise leave count
+        // ahead of the bucket sum forever.
+        self.count.fetch_add(total, Ordering::Relaxed);
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -221,6 +245,69 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn out_of_range_q_panics() {
         LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn merge_is_exact_on_quiescent_histograms() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for us in 1..=1_000u64 {
+            a.record_ns(us * 1_000); // 1..=1000 µs ramp
+        }
+        for ms in 1..=1_000u64 {
+            b.record_ns(ms * 1_000_000); // 1..=1000 ms ramp
+        }
+        let a_p50 = a.quantile(0.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 2_000);
+        // b is untouched.
+        assert_eq!(b.count(), 1_000);
+        // The merged median sits at the boundary between the two
+        // ramps (p50 ≈ the top of the fast ramp).
+        let merged_p50 = a.quantile(0.5).as_nanos();
+        assert!(merged_p50 >= a_p50.as_nanos(), "median must move up");
+        assert!(
+            (900_000..=1_100_000).contains(&merged_p50),
+            "merged p50 = {merged_p50} ns (expected ~1 ms boundary)"
+        );
+        // The merged p99 comes from the slow ramp.
+        assert!(a.quantile(0.99).as_millis() >= 900);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let a = LatencyHistogram::new();
+        a.record_ns(500);
+        let before = a.quantile(1.0);
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.quantile(1.0), before);
+        // Merging into an empty histogram copies everything.
+        let c = LatencyHistogram::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.quantile(1.0), before);
+    }
+
+    #[test]
+    fn merge_aggregates_many_partitions() {
+        // The service shape: one histogram per shard, merged into the
+        // service-wide number.
+        let shards: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        for (i, h) in shards.iter().enumerate() {
+            for n in 0..100u64 {
+                h.record_ns((i as u64 + 1) * 10_000 + n);
+            }
+        }
+        let total = LatencyHistogram::new();
+        for h in &shards {
+            total.merge(h);
+        }
+        assert_eq!(total.count(), 400);
+        assert!(total.quantile(0.0).as_nanos() >= 9_000);
+        // Max recorded value is 40_099 ns; allow the ~6% bucket-floor
+        // quantization.
+        assert!(total.quantile(1.0).as_nanos() >= 38_000);
     }
 
     #[test]

@@ -1,13 +1,23 @@
 //! `kv_load` — closed-loop load generator for `kv_server`.
 //!
 //! Opens `MALTHUS_KV_CONNS` connections, each running a closed loop
-//! of mixed `GET`/`PUT` requests over a xorshift key stream for
-//! `MALTHUS_KV_SECONDS`, then reports aggregate throughput and
-//! p50/p99 request latency from **separate**
-//! [`LatencyHistogram`](malthus_metrics::LatencyHistogram)s for `GET`
-//! and `PUT`, so the shared-read DB lock's effect on the read path is
-//! visible end to end (GETs ride the RW-CR read side; PUTs pay writer
-//! admission).
+//! of mixed `GET`/`PUT` (and optionally `MGET`) requests over a
+//! xorshift key stream for `MALTHUS_KV_SECONDS`, then reports
+//! aggregate throughput plus **per-op-type** counts and p50/p99
+//! latencies from separate
+//! [`LatencyHistogram`](malthus_metrics::LatencyHistogram)s, merged
+//! (via `LatencyHistogram::merge`) into the service-wide `all` line —
+//! so both the per-path admission costs (GETs ride the RW-CR read
+//! side; PUTs pay writer admission; MGETs batch per shard) and the
+//! overall picture are visible end to end.
+//!
+//! Flags:
+//!
+//! * `--pipeline-depth <n>` — outstanding requests per connection.
+//!   Only `1` (the default, the closed loop this binary has always
+//!   run) is implemented; other values are rejected rather than
+//!   silently ignored. The flag exists so the future pipelined
+//!   protocol lands on a stable CLI surface.
 //!
 //! Environment knobs:
 //!
@@ -18,8 +28,12 @@
 //! * `MALTHUS_KV_SECONDS` — measurement interval (default 2).
 //! * `MALTHUS_KV_KEYS` — key-space size (default 10000).
 //! * `MALTHUS_KV_PUT_PCT` — percentage of PUTs (default 20).
+//! * `MALTHUS_KV_MGET_PCT` — percentage of MGETs (default 0); each
+//!   MGET batches [`MGET_BATCH`] keys, exercising the cross-shard
+//!   batched read path.
 //! * `MALTHUS_KV_SHUTDOWN` — set to `1` to send `SHUTDOWN` when done.
 
+use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,11 +44,45 @@ use malthus_park::XorShift64;
 use malthus_pool::kv::DEFAULT_ADDR;
 use malthus_pool::KvClient;
 
+/// Keys per MGET request when `MALTHUS_KV_MGET_PCT` > 0.
+const MGET_BATCH: usize = 8;
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses `--pipeline-depth <n>`, the only flag. Depth 1 is the
+/// closed loop; anything else is honestly rejected until the
+/// pipelined protocol exists.
+fn parse_pipeline_depth() -> u64 {
+    let mut depth = env_u64("MALTHUS_KV_PIPELINE_DEPTH", 1);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pipeline-depth" => {
+                depth = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("kv_load: --pipeline-depth needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("kv_load: unknown argument {other}");
+                eprintln!("usage: kv_load [--pipeline-depth <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if depth != 1 {
+        eprintln!(
+            "kv_load: --pipeline-depth {depth} is not implemented yet; the wire \
+             protocol is one request per round trip (depth 1)"
+        );
+        std::process::exit(2);
+    }
+    depth
 }
 
 fn connect_with_retry(addr: SocketAddr) -> KvClient {
@@ -51,7 +99,15 @@ fn connect_with_retry(addr: SocketAddr) -> KvClient {
     }
 }
 
+/// One op type's histogram + its label, so reporting stays uniform as
+/// the mix grows.
+struct OpTrack {
+    label: &'static str,
+    hist: Arc<LatencyHistogram>,
+}
+
 fn main() {
+    let pipeline_depth = parse_pipeline_depth();
     let addr: SocketAddr = std::env::var("MALTHUS_KV_ADDR")
         .unwrap_or_else(|_| DEFAULT_ADDR.to_string())
         .parse()
@@ -60,14 +116,20 @@ fn main() {
     let seconds = env_u64("MALTHUS_KV_SECONDS", 2);
     let keys = env_u64("MALTHUS_KV_KEYS", 10_000).max(1);
     let put_pct = env_u64("MALTHUS_KV_PUT_PCT", 20).min(100);
+    let mget_pct = env_u64("MALTHUS_KV_MGET_PCT", 0).min(100 - put_pct);
     let send_shutdown = std::env::var("MALTHUS_KV_SHUTDOWN").is_ok_and(|v| v == "1");
 
-    eprintln!("# kv_load: {conns} connections x {seconds} s against {addr}");
-    // Separate GET/PUT histograms: the DB lock is a Malthusian RwLock,
-    // so the read and write paths have different admission costs and
-    // lumping them together would hide the read-side win.
+    eprintln!(
+        "# kv_load: {conns} connections x {seconds} s against {addr} \
+         (pipeline depth {pipeline_depth}, {put_pct}% PUT, {mget_pct}% MGET)"
+    );
+    // Separate per-op-type histograms: the DB locks are Malthusian
+    // RW locks, so each path has a different admission cost and
+    // lumping them together would hide the read-side win. They merge
+    // into the service-wide "all" line at report time.
     let get_hist = Arc::new(LatencyHistogram::new());
     let put_hist = Arc::new(LatencyHistogram::new());
+    let mget_hist = Arc::new(LatencyHistogram::new());
     let stop = Arc::new(AtomicBool::new(false));
     let errors = Arc::new(AtomicU64::new(0));
 
@@ -76,19 +138,32 @@ fn main() {
         .map(|c| {
             let get_hist = Arc::clone(&get_hist);
             let put_hist = Arc::clone(&put_hist);
+            let mget_hist = Arc::clone(&mget_hist);
             let stop = Arc::clone(&stop);
             let errors = Arc::clone(&errors);
             std::thread::spawn(move || {
                 let mut client = connect_with_retry(addr);
                 let rng = XorShift64::new(0xC0FFEE ^ (c as u64 + 1));
                 let mut ops = 0u64;
+                let mut req = String::new();
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.next_below(keys);
-                    let is_put = rng.next_below(100) < put_pct;
-                    let req = if is_put {
-                        format!("PUT {key} {}", key.wrapping_mul(31))
+                    let dice = rng.next_below(100);
+                    req.clear();
+                    // write! into the reused buffer: no per-op String
+                    // allocation in the request hot loop.
+                    let hist = if dice < put_pct {
+                        let _ = write!(req, "PUT {key} {}", key.wrapping_mul(31));
+                        &put_hist
+                    } else if dice < put_pct + mget_pct {
+                        req.push_str("MGET");
+                        for _ in 0..MGET_BATCH {
+                            let _ = write!(req, " {}", rng.next_below(keys));
+                        }
+                        &mget_hist
                     } else {
-                        format!("GET {key}")
+                        let _ = write!(req, "GET {key}");
+                        &get_hist
                     };
                     let t0 = Instant::now();
                     match client.roundtrip(&req) {
@@ -98,11 +173,7 @@ fn main() {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(_) => {
-                            if is_put {
-                                put_hist.record(t0.elapsed());
-                            } else {
-                                get_hist.record(t0.elapsed());
-                            }
+                            hist.record(t0.elapsed());
                             ops += 1;
                         }
                         Err(_) => {
@@ -121,22 +192,54 @@ fn main() {
     let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let elapsed = started.elapsed().as_secs_f64();
 
+    // Service-wide histogram = merge of the per-op-type ones.
+    let all_hist = LatencyHistogram::new();
+    let tracks = [
+        OpTrack {
+            label: "get",
+            hist: Arc::clone(&get_hist),
+        },
+        OpTrack {
+            label: "put",
+            hist: Arc::clone(&put_hist),
+        },
+        OpTrack {
+            label: "mget",
+            hist: Arc::clone(&mget_hist),
+        },
+    ];
+    for t in &tracks {
+        all_hist.merge(&t.hist);
+    }
+
     let us = |d: Duration| d.as_secs_f64() * 1e6;
-    let (get_p50, get_p99) = get_hist.p50_p99();
-    let (put_p50, put_p99) = put_hist.p50_p99();
-    println!(
-        "ops {total}  ops/s {:.0}  gets {}  get_p50_us {:.1}  get_p99_us {:.1}  \
-         puts {}  put_p50_us {:.1}  put_p99_us {:.1}  errors {}",
-        total as f64 / elapsed,
-        get_hist.count(),
-        us(get_p50),
-        us(get_p99),
-        put_hist.count(),
-        us(put_p50),
-        us(put_p99),
+    let mut line = format!("ops {total}  ops/s {:.0}", total as f64 / elapsed);
+    for t in &tracks {
+        let (p50, p99) = t.hist.p50_p99();
+        line.push_str(&format!(
+            "  {}s {}  {}_p50_us {:.1}  {}_p99_us {:.1}",
+            t.label,
+            t.hist.count(),
+            t.label,
+            us(p50),
+            t.label,
+            us(p99)
+        ));
+    }
+    let (all_p50, all_p99) = all_hist.p50_p99();
+    line.push_str(&format!(
+        "  all_p50_us {:.1}  all_p99_us {:.1}  errors {}",
+        us(all_p50),
+        us(all_p99),
         errors.load(Ordering::Relaxed)
-    );
+    ));
+    println!("{line}");
     assert!(total > 0, "load generator completed no operations");
+    assert_eq!(
+        all_hist.count(),
+        tracks.iter().map(|t| t.hist.count()).sum::<u64>(),
+        "merged histogram must cover every recorded op"
+    );
 
     if send_shutdown {
         let mut c = connect_with_retry(addr);

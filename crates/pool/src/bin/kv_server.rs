@@ -1,20 +1,39 @@
 //! `kv_server` — the Malthusian KV service over TCP.
 //!
 //! Serves the line protocol of [`malthus_pool::kv`] with request
-//! execution dispatched onto a concurrency-restricting [`WorkCrew`].
-//! Runs until a client sends `SHUTDOWN`.
+//! execution dispatched onto a concurrency-restricting [`WorkCrew`]
+//! over a sharded store: `--shards N` gives each of N shards its own
+//! Malthusian RW-CR DB lock and block-cache lock, so admission is
+//! per shard. Runs until a client sends `SHUTDOWN`.
 //!
-//! Environment knobs:
+//! Flags (each falls back to the matching environment knob):
 //!
-//! * `MALTHUS_KV_ADDR` — listen address (default `127.0.0.1:7878`).
-//! * `MALTHUS_KV_WORKERS` — crew size (default `4 × host CPUs`).
-//! * `MALTHUS_KV_QUEUE` — task-queue bound (default 256).
-//! * `MALTHUS_KV_UNRESTRICTED` — set to `1` to disable concurrency
-//!   restriction (for A/B runs against the Malthusian default).
+//! * `--addr <host:port>` / `MALTHUS_KV_ADDR` — listen address
+//!   (default `127.0.0.1:7878`).
+//! * `--shards <n>` / `MALTHUS_KV_SHARDS` — shard count (default 1,
+//!   the paper-faithful single hot lock pair).
+//! * `--workers <n>` / `MALTHUS_KV_WORKERS` — crew size (default
+//!   `4 × host CPUs`).
+//! * `--queue <n>` / `MALTHUS_KV_QUEUE` — task-queue bound (default
+//!   256).
+//! * `--unrestricted` / `MALTHUS_KV_UNRESTRICTED=1` — disable
+//!   concurrency restriction (for A/B runs).
+//!
+//! With restriction on, the crew's ACS target is
+//! `min(workers, cpus, shards)`: one hot lock pair deserves one
+//! circulating thread (more would just queue at the lock — the §6.5
+//! situation), and each extra shard adds an independent admission
+//! point that can keep one more thread usefully busy, up to the core
+//! count. This sizing is writer-centric: readers *share* each shard's
+//! RW-CR lock, so on a multi-core host a read-heavy single-shard
+//! workload would profit from an ACS above the shard count — size
+//! `--shards` toward the core count there, or pass `--unrestricted`;
+//! the measure-and-adapt ACS the ROADMAP plans is the real fix.
 
 use std::sync::Arc;
 
-use malthus_pool::kv::{self, KvService, DEFAULT_ADDR};
+use malthus_pool::kv::{self, KvService, DEFAULT_ADDR, DEFAULT_SHARDS};
+use malthus_pool::kv::{DEFAULT_CACHE_BLOCKS, DEFAULT_MEMTABLE_LIMIT};
 use malthus_pool::{PoolConfig, WorkCrew};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -25,33 +44,95 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn main() {
-    let addr = std::env::var("MALTHUS_KV_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let workers = env_usize("MALTHUS_KV_WORKERS", 4 * cpus);
-    let queue = env_usize("MALTHUS_KV_QUEUE", 256);
-    let unrestricted = std::env::var("MALTHUS_KV_UNRESTRICTED").is_ok_and(|v| v == "1");
+struct Options {
+    addr: String,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+    unrestricted: bool,
+}
 
-    let cfg = if unrestricted {
-        PoolConfig::unrestricted(workers, queue)
+fn usage() -> ! {
+    eprintln!(
+        "usage: kv_server [--addr <host:port>] [--shards <n>] [--workers <n>] \
+         [--queue <n>] [--unrestricted]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(cpus: usize) -> Options {
+    let mut opts = Options {
+        addr: std::env::var("MALTHUS_KV_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string()),
+        shards: env_usize("MALTHUS_KV_SHARDS", DEFAULT_SHARDS),
+        workers: env_usize("MALTHUS_KV_WORKERS", 4 * cpus),
+        queue: env_usize("MALTHUS_KV_QUEUE", 256),
+        unrestricted: std::env::var("MALTHUS_KV_UNRESTRICTED").is_ok_and(|v| v == "1"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut positive = |name: &str| -> usize {
+            let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                eprintln!("kv_server: {name} needs a positive integer");
+                usage();
+            };
+            v
+        };
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => opts.addr = a,
+                None => usage(),
+            },
+            "--shards" => opts.shards = positive("--shards"),
+            "--workers" => opts.workers = positive("--workers"),
+            "--queue" => opts.queue = positive("--queue"),
+            "--unrestricted" => opts.unrestricted = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let opts = parse_args(cpus);
+
+    let cfg = if opts.unrestricted {
+        PoolConfig::unrestricted(opts.workers, opts.queue)
     } else {
-        PoolConfig::malthusian(workers, queue)
+        // One circulating thread per independent admission point
+        // (shard), bounded by cores and crew size.
+        let acs = opts.workers.min(cpus).min(opts.shards).max(1);
+        PoolConfig::malthusian(opts.workers, opts.queue).with_acs_target(acs)
     };
     eprintln!(
-        "# kv_server: {workers} workers (ACS target {}), queue bound {queue}, {cpus} host CPUs",
-        cfg.acs_target
+        "# kv_server: {} shards, {} workers (ACS target {}), queue bound {}, {cpus} host CPUs",
+        opts.shards, opts.workers, cfg.acs_target, opts.queue
     );
 
-    let (listener, control) = kv::bind(&addr).expect("bind listen address");
+    let (listener, control) = kv::bind(&opts.addr).expect("bind listen address");
     println!("listening on {}", control.addr());
 
     let crew = Arc::new(WorkCrew::new(cfg));
-    let service = Arc::new(KvService::default());
-    kv::serve(listener, &control, Arc::clone(&crew), service).expect("accept loop failed");
+    let service = Arc::new(KvService::with_shards(
+        opts.shards,
+        DEFAULT_MEMTABLE_LIMIT,
+        DEFAULT_CACHE_BLOCKS,
+    ));
+    kv::serve(listener, &control, Arc::clone(&crew), Arc::clone(&service))
+        .expect("accept loop failed");
 
     let stats = crew.shutdown();
     eprintln!(
         "# kv_server: completed={} culls={} reprovisions={} promotions={}",
         stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
     );
+    // Per-shard exit report: how evenly the traffic spread and what
+    // each shard's admission machinery did.
+    for (i, s) in service.store().stats().per_shard.iter().enumerate() {
+        eprintln!(
+            "# kv_server: shard {i}: reads={} writes={} keys={} runs={} \
+             rculls={} wepisodes={}",
+            s.reads, s.writes, s.keys, s.runs, s.db_lock.reader_culls, s.db_lock.write_episodes
+        );
+    }
 }

@@ -2,20 +2,24 @@
 //!
 //! §6.5 of the paper evaluates CR inside leveldb, whose "central
 //! database lock and internal LRUCache locks are highly contended".
-//! This module serves that same storage shape —
-//! [`MiniKv`](malthus_storage::MiniKv) behind a Malthusian
-//! **read-write** DB lock ([`RwCrMutex`]) plus a
-//! [`SimpleLru`](malthus_storage::SimpleLru) block cache behind an
-//! MCSCR mutex — over TCP, with request execution dispatched onto a
-//! [`WorkCrew`], so admission control operates at *both* layers: the
-//! crew restricts how many threads run at all, and the CR locks
-//! restrict circulation on the hot data.
+//! This module serves that storage shape — now **sharded** — over
+//! TCP: a [`ShardedKv`](malthus_storage::ShardedKv) of N shards, each
+//! its own `MiniKv` behind a Malthusian **read-write** DB lock plus a
+//! `SimpleLru` block cache behind an MCSCR mutex, with request
+//! execution dispatched onto a [`WorkCrew`]. Admission control
+//! operates at *both* layers: the crew restricts how many threads run
+//! at all, and the N CR lock pairs restrict circulation per shard —
+//! one hot shard culls its own surplus while the others keep serving.
 //!
-//! `GET`s take the DB lock *shared*, so point lookups run genuinely
-//! concurrently; memtable hits never touch the exclusive block-cache
-//! lock at all (the run scan, which does model block traffic, is the
-//! only part that serializes on it). `PUT`s take the DB lock
-//! exclusive and pay the usual Malthusian writer admission.
+//! `GET`s take their shard's DB lock *shared*, so point lookups run
+//! genuinely concurrently; memtable hits never touch the exclusive
+//! block-cache lock at all. `PUT`s take their shard's DB lock
+//! exclusive and pay writer admission on that shard only. The batched
+//! and aggregate verbs (`MGET`/`MSET`/`SCAN`/`STATS`) visit shards
+//! one at a time and never hold two shard locks at once — per-shard
+//! atomic, cross-shard racy snapshot (see
+//! [`malthus_storage::sharded`] for the full contract, which is also
+//! the wire contract).
 //!
 //! The wire protocol is line-oriented text (one request, one response):
 //!
@@ -23,8 +27,11 @@
 //! |---|---|
 //! | `PUT <key> <value>` | `OK` |
 //! | `GET <key>` | `VAL <value>` or `NIL` |
+//! | `MGET <key>...` | `VALS <value-or-–>...` (`-` marks a miss) |
+//! | `MSET <key> <value>...` | `OK <pairs-written>` |
+//! | `SCAN <start> <limit>` | `RANGE <key>=<value>...` (maybe empty) |
 //! | `PING` | `PONG` |
-//! | `STATS` | `STATS reads=<n> writes=<n> completed=<n> culls=<n> reprovisions=<n> promotions=<n> rculls=<n> rgrants=<n>` |
+//! | `STATS` | `STATS reads=<n> writes=<n> ... shards=<n>` |
 //! | `SHUTDOWN` | `OK` then the server stops accepting |
 //! | `QUIT` | connection closes |
 //! | anything else | `ERR <reason>` |
@@ -33,31 +40,44 @@
 //! are plain threads (cheap, blocked on I/O); all request *execution*
 //! flows through the crew, which is where concurrency is restricted.
 
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use malthus::{current_thread_index, McsCrMutex};
-use malthus_rwlock::RwCrMutex;
-use malthus_storage::{MiniKv, SimpleLru};
+use malthus_storage::ShardedKv;
 
 use crate::crew::WorkCrew;
 
 /// Default TCP address for the server and load-generator binaries.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
-/// Memtable entries before MiniKv freezes a run.
+/// Memtable entries before a shard's MiniKv freezes a run.
 pub const DEFAULT_MEMTABLE_LIMIT: usize = 4_096;
-/// Block-cache capacity in blocks.
+/// Per-shard block-cache capacity in blocks.
 pub const DEFAULT_CACHE_BLOCKS: usize = 8_192;
+/// Default shard count: one, the paper-faithful §6.5 single hot lock
+/// pair. `kv_server --shards N` raises it.
+pub const DEFAULT_SHARDS: usize = 1;
+/// Upper bound on keys per `MGET` / pairs per `MSET` line: bounds
+/// the parsed batch (and so how long one batch monopolizes the crew
+/// worker executing it). The raw line is still read unbounded before
+/// parsing, like every other verb's.
+pub const MAX_BATCH_KEYS: usize = 1_024;
 
 /// One parsed request line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// `PUT <key> <value>`
     Put(u64, u64),
     /// `GET <key>`
     Get(u64),
+    /// `MGET <key>...` (at least one key)
+    Mget(Vec<u64>),
+    /// `MSET <key> <value>...` (at least one pair)
+    Mset(Vec<(u64, u64)>),
+    /// `SCAN <start> <limit>`
+    Scan(u64, u64),
     /// `PING`
     Ping,
     /// `STATS`
@@ -83,6 +103,29 @@ impl Request {
         let req = match verb {
             "PUT" => Request::Put(int("key")?, int("value")?),
             "GET" => Request::Get(int("key")?),
+            "MGET" => {
+                let keys = rest_u64s(verb, parts)?;
+                if keys.is_empty() {
+                    return Err("MGET needs at least one key".to_string());
+                }
+                if keys.len() > MAX_BATCH_KEYS {
+                    return Err(format!("MGET capped at {MAX_BATCH_KEYS} keys"));
+                }
+                return Ok(Request::Mget(keys));
+            }
+            "MSET" => {
+                let flat = rest_u64s(verb, parts)?;
+                if flat.is_empty() || flat.len() % 2 != 0 {
+                    return Err("MSET needs one or more <key> <value> pairs".to_string());
+                }
+                if flat.len() / 2 > MAX_BATCH_KEYS {
+                    return Err(format!("MSET capped at {MAX_BATCH_KEYS} pairs"));
+                }
+                return Ok(Request::Mset(
+                    flat.chunks_exact(2).map(|kv| (kv[0], kv[1])).collect(),
+                ));
+            }
+            "SCAN" => Request::Scan(int("start")?, int("limit")?),
             "PING" => Request::Ping,
             "STATS" => Request::Stats,
             "SHUTDOWN" => Request::Shutdown,
@@ -96,57 +139,66 @@ impl Request {
     }
 }
 
-/// The shared storage state: the two contended locks of §6.5.
+/// Collects the remaining whitespace-separated tokens as u64s.
+fn rest_u64s<'a>(verb: &str, parts: impl Iterator<Item = &'a str>) -> Result<Vec<u64>, String> {
+    parts
+        .map(|tok| {
+            tok.parse::<u64>()
+                .map_err(|_| format!("{verb} arguments must be u64s, got {tok:?}"))
+        })
+        .collect()
+}
+
+/// The shared storage state: N shards, each the two contended locks
+/// of §6.5, behind fixed fibonacci-hash routing.
 pub struct KvService {
-    /// The central database lock (memtable + runs). Readers share it;
-    /// writers (and, under writer pressure, surplus readers) pay
-    /// Malthusian admission.
-    db: RwCrMutex<MiniKv>,
-    /// The block-cache lock (exclusive: every lookup edits recency).
-    cache: McsCrMutex<SimpleLru>,
+    store: ShardedKv,
 }
 
 impl KvService {
-    /// Creates a service with the given memtable limit and block-cache
+    /// Creates a **single-shard** service (the paper-faithful §6.5
+    /// shape) with the given per-shard memtable limit and block-cache
     /// capacity.
     pub fn new(memtable_limit: usize, cache_blocks: usize) -> Self {
+        Self::with_shards(DEFAULT_SHARDS, memtable_limit, cache_blocks)
+    }
+
+    /// Creates a service over `shards` shards; each shard gets its
+    /// own memtable limit and block-cache capacity.
+    pub fn with_shards(shards: usize, memtable_limit: usize, cache_blocks: usize) -> Self {
         KvService {
-            db: RwCrMutex::default_cr(MiniKv::new(memtable_limit)),
-            cache: McsCrMutex::default_cr(SimpleLru::new(cache_blocks)),
+            store: ShardedKv::new(shards, memtable_limit, cache_blocks),
         }
     }
 
-    /// Inserts or updates a key (exclusive DB access).
+    /// The backing sharded store (per-shard lock and stats access).
+    pub fn store(&self) -> &ShardedKv {
+        &self.store
+    }
+
+    /// Inserts or updates a key (exclusive access to its shard only).
     pub fn put(&self, key: u64, value: u64) {
-        self.db.write().put(key, value);
+        self.store.put(key, value);
     }
 
-    /// Point lookup through memtable, runs, and the block cache.
-    ///
-    /// Takes the DB lock *shared*: concurrent `get`s overlap on the
-    /// memtable and runs. The exclusive cache lock is only taken when
-    /// the memtable misses and the frozen runs (whose block traffic
-    /// the cache models) must be consulted — both locks then nest in
-    /// the fixed db → cache order, mirroring leveldb's read path.
+    /// Point lookup on the key's shard: shared DB lock through
+    /// memtable and runs; the exclusive block-cache lock only on a
+    /// memtable miss, nested in the fixed db → cache order.
     pub fn get(&self, key: u64) -> Option<u64> {
-        let tid = current_thread_index();
-        let db = self.db.read();
-        if let Some(v) = db.get_memtable(key) {
-            return Some(v);
-        }
-        let mut cache = self.cache.lock();
-        db.get_runs(key, &mut cache, tid)
+        self.store.get(key)
     }
 
-    /// `(reads, writes)` served so far (exact while quiescent).
+    /// `(reads, writes)` served so far, summed across shards (racy
+    /// snapshot; exact while quiescent).
     pub fn counters(&self) -> (u64, u64) {
-        let db = self.db.read();
-        (db.reads(), db.writes())
+        let stats = self.store.stats();
+        (stats.reads(), stats.writes())
     }
 
-    /// CR statistics of the DB read-write lock (reader culls/grants).
+    /// CR statistics of the shard DB read-write locks, summed across
+    /// shards (reader culls/grants).
     pub fn db_lock_stats(&self) -> malthus_rwlock::RwStats {
-        self.db.raw().stats()
+        self.store.stats().db_lock_totals()
     }
 
     /// Executes a request and renders its response line. `Quit` and
@@ -162,20 +214,54 @@ impl KvService {
                 Some(v) => format!("VAL {v}"),
                 None => "NIL".to_string(),
             },
+            Request::Mget(keys) => {
+                // write! into one buffer: batch responses render on a
+                // crew worker (scarce ACS slots), so no per-value
+                // temporary Strings.
+                let mut out = String::from("VALS");
+                for v in self.store.mget(&keys) {
+                    match v {
+                        Some(v) => {
+                            let _ = write!(out, " {v}");
+                        }
+                        None => out.push_str(" -"),
+                    }
+                }
+                out
+            }
+            Request::Mset(pairs) => {
+                let n = self.store.mset(&pairs);
+                format!("OK {n}")
+            }
+            Request::Scan(start, limit) => {
+                let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+                let mut out = String::from("RANGE");
+                for (k, v) in self.store.scan(start, limit) {
+                    let _ = write!(out, " {k}={v}");
+                }
+                out
+            }
             Request::Ping => "PONG".to_string(),
             Request::Stats => {
-                let (reads, writes) = self.counters();
+                // One shard walk for the whole response: counters and
+                // lock stats come from the same snapshot, and the
+                // per-shard locks (including the exclusive cache
+                // locks, which contend with the GET path) are taken
+                // once, not twice.
+                let store = self.store.stats();
+                let (reads, writes) = (store.reads(), store.writes());
                 let s = crew.stats();
-                let db = self.db_lock_stats();
+                let db = store.db_lock_totals();
                 format!(
                     "STATS reads={reads} writes={writes} completed={} culls={} \
-                     reprovisions={} promotions={} rculls={} rgrants={}",
+                     reprovisions={} promotions={} rculls={} rgrants={} shards={}",
                     s.completed,
                     s.culls,
                     s.reprovisions,
                     s.fairness_promotions,
                     db.reader_culls,
-                    db.reader_reprovisions + db.reader_fairness_grants
+                    db.reader_reprovisions + db.reader_fairness_grants,
+                    self.store.shard_count()
                 )
             }
             Request::Shutdown | Request::Quit => "OK".to_string(),
@@ -416,6 +502,15 @@ mod tests {
     fn parse_round_trips_the_grammar() {
         assert_eq!(Request::parse("PUT 1 2"), Ok(Request::Put(1, 2)));
         assert_eq!(Request::parse("GET 7"), Ok(Request::Get(7)));
+        assert_eq!(
+            Request::parse("MGET 1 2 3"),
+            Ok(Request::Mget(vec![1, 2, 3]))
+        );
+        assert_eq!(
+            Request::parse("MSET 1 10 2 20"),
+            Ok(Request::Mset(vec![(1, 10), (2, 20)]))
+        );
+        assert_eq!(Request::parse("SCAN 5 100"), Ok(Request::Scan(5, 100)));
         assert_eq!(Request::parse("PING"), Ok(Request::Ping));
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
         assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
@@ -430,6 +525,26 @@ mod tests {
         assert!(Request::parse("PUT 1 2 3").is_err());
         assert!(Request::parse("GET banana").is_err());
         assert!(Request::parse("DEL 1").is_err());
+        assert!(Request::parse("MGET").is_err());
+        assert!(Request::parse("MGET 1 banana").is_err());
+        assert!(Request::parse("MSET").is_err());
+        assert!(Request::parse("MSET 1 2 3").is_err(), "odd pair list");
+        assert!(Request::parse("SCAN 1").is_err());
+        assert!(Request::parse("SCAN 1 2 3").is_err());
+    }
+
+    #[test]
+    fn parse_caps_batch_sizes() {
+        let huge: String = std::iter::once("MGET".to_string())
+            .chain((0..=MAX_BATCH_KEYS as u64).map(|k| k.to_string()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(Request::parse(&huge).is_err());
+        let ok: String = std::iter::once("MGET".to_string())
+            .chain((0..MAX_BATCH_KEYS as u64).map(|k| k.to_string()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(Request::parse(&ok).is_ok());
     }
 
     #[test]
@@ -464,7 +579,7 @@ mod tests {
         let holder = {
             let svc = Arc::clone(&svc);
             std::thread::spawn(move || {
-                let guard = svc.db.read(); // first reader in
+                let guard = svc.store.db_lock(0).read(); // first reader in
                 tx.send(guard.reads()).unwrap();
                 // Hold the shared lock until the main thread's get has
                 // finished.
@@ -488,11 +603,11 @@ mod tests {
         assert_eq!(got, Some(11));
 
         // Writers are still excluded while the read guard lives.
-        assert!(svc.db.try_write().is_none());
+        assert!(svc.store.db_lock(0).try_write().is_none());
         release_tx.send(()).unwrap();
         holder.join().unwrap();
         getter.join().unwrap();
-        assert!(svc.db.try_write().is_some());
+        assert!(svc.store.db_lock(0).try_write().is_some());
     }
 
     #[test]
@@ -506,6 +621,26 @@ mod tests {
         let stats = svc.apply(Request::Stats, &crew);
         // Two GETs above: one hit, one miss.
         assert!(stats.starts_with("STATS reads=2 writes=1"), "{stats}");
+        assert!(stats.ends_with("shards=1"), "{stats}");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn apply_renders_the_batched_verbs_across_shards() {
+        let svc = KvService::with_shards(4, 64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        assert_eq!(
+            svc.apply(Request::Mset(vec![(1, 10), (2, 20), (3, 30)]), &crew),
+            "OK 3"
+        );
+        assert_eq!(
+            svc.apply(Request::Mget(vec![2, 9, 1]), &crew),
+            "VALS 20 - 10"
+        );
+        assert_eq!(svc.apply(Request::Scan(2, 10), &crew), "RANGE 2=20 3=30");
+        assert_eq!(svc.apply(Request::Scan(100, 10), &crew), "RANGE");
+        let stats = svc.apply(Request::Stats, &crew);
+        assert!(stats.ends_with("shards=4"), "{stats}");
         crew.shutdown();
     }
 
@@ -516,7 +651,9 @@ mod tests {
         let crew = Arc::new(WorkCrew::new(
             PoolConfig::malthusian(3, 32).with_acs_target(1),
         ));
-        let svc = Arc::new(KvService::new(64, 256));
+        // Two shards: the closed-loop traffic below crosses shard
+        // boundaries over real TCP.
+        let svc = Arc::new(KvService::with_shards(2, 64, 256));
         let server = {
             let crew = Arc::clone(&crew);
             let svc = Arc::clone(&svc);
@@ -529,7 +666,11 @@ mod tests {
         assert_eq!(c.roundtrip("PUT 10 11").unwrap(), "OK");
         assert_eq!(c.roundtrip("GET 10").unwrap(), "VAL 11");
         assert_eq!(c.roundtrip("GET 12").unwrap(), "NIL");
+        assert_eq!(c.roundtrip("MSET 20 200 21 210").unwrap(), "OK 2");
+        assert_eq!(c.roundtrip("MGET 20 12 21").unwrap(), "VALS 200 - 210");
+        assert_eq!(c.roundtrip("SCAN 20 2").unwrap(), "RANGE 20=200 21=210");
         assert!(c.roundtrip("BOGUS").unwrap().starts_with("ERR"));
+        assert!(c.roundtrip("MSET 1 2 3").unwrap().starts_with("ERR"));
         assert!(c.roundtrip("STATS").unwrap().starts_with("STATS "));
 
         // A second closed-loop client hammers the service through the

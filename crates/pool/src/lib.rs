@@ -14,11 +14,14 @@
 //!   [`malthus::policy::crew_should_reprovision`],
 //!   [`malthus::policy::FairnessTrigger`]), so pool and locks share
 //!   one policy module.
-//! * [`kv`] — a line-protocol TCP key-value service
-//!   ([`KvService`]) dispatching request execution onto the crew
-//!   against [`MiniKv`](malthus_storage::MiniKv)'s two contended
-//!   locks (§6.5's leveldb shape), plus the client used by the
-//!   bundled load generator. Binaries: `kv_server`, `kv_load`.
+//! * [`kv`] — a line-protocol TCP key-value service ([`KvService`])
+//!   dispatching request execution onto the crew against a
+//!   [`ShardedKv`](malthus_storage::ShardedKv): N shards, each
+//!   §6.5's two contended locks (`--shards 1` is the paper-faithful
+//!   single pair), with batched `MGET`/`MSET` and aggregated
+//!   `SCAN`/`STATS` cross-shard verbs. Binaries: `kv_server`
+//!   (`--shards`), `kv_load` (`--pipeline-depth`, per-op-type
+//!   latencies).
 //!
 //! The `bench_pool` binary (in `malthus-bench`) compares unrestricted
 //! and Malthusian crews at rising oversubscription and writes

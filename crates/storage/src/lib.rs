@@ -15,6 +15,14 @@
 //! | [`SimpleLru`] | CEPH `SimpleLRU` | LRUCache |
 //! | [`BoundedQueue`] | COZ `producer_consumer` queue | prodcons |
 //! | [`BufferPool`] | the §6.11 blocking buffer pool | bufferpool |
+//!
+//! On top of the substrates, the crate ships one genuinely new layer:
+//! [`ShardedKv`], a sharded KV backend where each shard is a
+//! [`MiniKv`] + [`SimpleLru`] behind its **own** Malthusian
+//! `RwCrMutex`/`McsCrMutex` pair with fixed fibonacci-hash routing
+//! ([`ShardRouter`]) — N independent admission-restricted locks
+//! instead of §6.5's single hot pair. See the [`sharded`] module docs
+//! for the cross-shard snapshot-consistency contract.
 
 #![warn(missing_docs)]
 
@@ -22,6 +30,8 @@ mod bounded_queue;
 mod buffer_pool;
 mod kccache;
 mod minikv;
+mod router;
+pub mod sharded;
 mod simplelru;
 mod splay;
 
@@ -29,5 +39,7 @@ pub use bounded_queue::BoundedQueue;
 pub use buffer_pool::{BufferPool, PoolBuffer, SemBufferPool};
 pub use kccache::KcCacheDb;
 pub use minikv::MiniKv;
-pub use simplelru::SimpleLru;
+pub use router::{ShardRouter, FIB_HASH_MULT};
+pub use sharded::{hottest_share, ShardSnapshot, ShardedKv, ShardedKvStats, MAX_SCAN_LIMIT};
+pub use simplelru::{LruStats, SimpleLru};
 pub use splay::SplayArena;

@@ -114,6 +114,37 @@ impl MiniKv {
         None
     }
 
+    /// Ordered range scan: up to `limit` live `(key, value)` pairs
+    /// with `key >= start`, ascending, with the usual LSM shadowing
+    /// (memtable over runs, newer runs over older).
+    ///
+    /// Takes `&self` like the rest of the read path, so a caller
+    /// holding only a shared DB lock can scan. Does not touch the
+    /// block cache: a scan is modeled as a sequential run sweep, which
+    /// leveldb also services outside the random-lookup cache path.
+    /// Counts one read.
+    pub fn scan_from(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if limit == 0 {
+            return Vec::new();
+        }
+        // Any key among the merged view's first `limit` must be among
+        // the first `limit` candidates of *some* source, so clipping
+        // each source to `limit` entries loses nothing. Sources are
+        // merged oldest-first so newer values overwrite older ones.
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for run in self.runs.iter().rev() {
+            let from = run.partition_point(|&(k, _)| k < start);
+            for &(k, v) in run[from..].iter().take(limit) {
+                merged.insert(k, v);
+            }
+        }
+        for (&k, &v) in self.memtable.range(start..).take(limit) {
+            merged.insert(k, v);
+        }
+        merged.into_iter().take(limit).collect()
+    }
+
     /// Total keys resident (memtable + runs, with duplicates).
     pub fn len_estimate(&self) -> usize {
         self.memtable.len() + self.runs.iter().map(Vec::len).sum::<usize>()
@@ -246,6 +277,40 @@ mod tests {
         assert_eq!(before, after, "memtable hit must skip the cache");
         // One read counted per split-path lookup (17 + the probe).
         assert_eq!(kv.reads(), 18);
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_runs_with_shadowing() {
+        let mut kv = MiniKv::new(4);
+        // Two generations of the same keys: the newer values must win.
+        for k in 0..12u64 {
+            kv.put(k, k);
+        }
+        for k in 0..6u64 {
+            kv.put(k, k + 1_000);
+        }
+        assert!(kv.run_count() >= 1, "freezes expected");
+        let all = kv.scan_from(0, 100);
+        assert_eq!(all.len(), 12);
+        for (i, &(k, v)) in all.iter().enumerate() {
+            assert_eq!(k, i as u64, "ascending dense keys");
+            let expect = if k < 6 { k + 1_000 } else { k };
+            assert_eq!(v, expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn scan_respects_start_and_limit() {
+        let mut kv = MiniKv::new(4);
+        for k in 0..20u64 {
+            kv.put(k, k * 2);
+        }
+        let window = kv.scan_from(7, 5);
+        assert_eq!(window, vec![(7, 14), (8, 16), (9, 18), (10, 20), (11, 22)]);
+        assert!(kv.scan_from(100, 5).is_empty());
+        assert!(kv.scan_from(0, 0).is_empty());
+        // Scans count as reads.
+        assert!(kv.reads() >= 3);
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! The sharded KV backend: N independent Malthusian lock pairs.
+//!
+//! §6.5 of *Malthusian Locks* evaluates CR on leveldb's two hot locks
+//! — faithful, but a single-lock design caps the whole service at one
+//! admission point: however well the lock behaves under contention,
+//! only one writer makes progress at a time. [`ShardedKv`] splits the
+//! store into `N` shards, each a [`MiniKv`] plus its own
+//! [`SimpleLru`] block cache behind its **own**
+//! [`RwCrMutex`]/[`McsCrMutex`] pair, with fixed fibonacci-hash
+//! routing ([`ShardRouter`]). The N Malthusian locks *are* the
+//! system's admission surface: contention on one hot shard culls that
+//! shard's surplus threads while the other shards keep serving at
+//! full speed.
+//!
+//! # Snapshot-consistency contract
+//!
+//! Cross-shard operations ([`ShardedKv::mget`], [`ShardedKv::mset`],
+//! [`ShardedKv::scan`], [`ShardedKv::stats`]) visit shards **one at a
+//! time and never hold two shard locks at once**. That buys three
+//! things — no lock-ordering deadlock by construction, admission
+//! stays per-shard (a batch never stalls a cold shard behind a hot
+//! one), and bounded lock hold times — at the price of atomicity:
+//!
+//! * Operations are atomic **per shard**. An `mset` becomes visible
+//!   shard-by-shard; a concurrent `mget` may observe the part of the
+//!   batch that landed on shards it visits later and miss the part on
+//!   shards it visited earlier.
+//! * `scan` and `stats` are **racy snapshots**: each shard's
+//!   contribution is internally consistent (taken under that shard's
+//!   lock), but shards are sampled at slightly different times. Sums
+//!   are exact only while the store is quiescent — the same contract
+//!   as the locks' own `cr_stats`.
+//! * Single-key [`ShardedKv::get`]/[`ShardedKv::put`] are fully
+//!   linearizable per key (a key lives on exactly one shard, and its
+//!   shard never changes).
+//!
+//! Callers that need a cross-shard atomic view must quiesce writers
+//! themselves; the service layer documents the same contract on the
+//! wire protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use malthus::{current_thread_index, LockCounter, McsCrMutex};
+use malthus_rwlock::{RwCrMutex, RwStats};
+
+use crate::minikv::MiniKv;
+use crate::router::ShardRouter;
+use crate::simplelru::{LruStats, SimpleLru};
+
+/// Upper bound a single [`ShardedKv::scan`] will return, whatever the
+/// caller asks for: bounds both response size and per-shard lock hold
+/// time.
+pub const MAX_SCAN_LIMIT: usize = 4_096;
+
+/// The largest element's share of the slice's sum, in `[0, 1]`;
+/// 0 when the sum is 0 (or the slice is empty).
+///
+/// The skew diagnostic shared by [`ShardedKvStats`] and the
+/// `sharded_contention` workload report: applied to per-shard write
+/// counts it answers "how hot is the hottest shard".
+pub fn hottest_share(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts.iter().copied().max().unwrap_or(0) as f64 / total as f64
+}
+
+/// One shard: a [`MiniKv`] and its block cache behind their own lock
+/// pair, plus batch counters.
+struct Shard {
+    /// The shard's central database lock (memtable + runs).
+    db: RwCrMutex<MiniKv>,
+    /// The shard's block-cache lock (exclusive: lookups edit recency).
+    cache: McsCrMutex<SimpleLru>,
+    /// MGET batches that touched this shard. Bumped under the
+    /// *shared* `db` lock, where concurrent bumpers are legal, so
+    /// this must be a real RMW ([`LockCounter::bump`]'s plain
+    /// load+store would lose counts) — same relaxed-atomic treatment
+    /// as `MiniKv`'s read counter.
+    mgets: AtomicU64,
+    /// MSET batches that touched this shard. Bumped only under the
+    /// exclusive `db` write lock, which serializes writers — exactly
+    /// the [`LockCounter`] contract (plain load+store, no RMW).
+    msets: LockCounter,
+    /// Scans that visited this shard (bumped under the shared `db`
+    /// lock; relaxed atomic for the same reason as `mgets`).
+    scans: AtomicU64,
+}
+
+/// Racy-snapshot statistics of one shard (see the module-level
+/// contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSnapshot {
+    /// Reads served by this shard's [`MiniKv`].
+    pub reads: u64,
+    /// Writes accepted by this shard's [`MiniKv`].
+    pub writes: u64,
+    /// Resident keys (memtable + runs, duplicates included).
+    pub keys: usize,
+    /// Frozen runs.
+    pub runs: usize,
+    /// MGET batches that touched this shard.
+    pub mgets: u64,
+    /// MSET batches that touched this shard.
+    pub msets: u64,
+    /// Scans that visited this shard.
+    pub scans: u64,
+    /// The shard DB lock's RW-CR counters.
+    pub db_lock: RwStats,
+    /// The shard block cache's hit/miss/displacement counters.
+    pub cache: LruStats,
+}
+
+/// Per-shard snapshots plus aggregation helpers.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedKvStats {
+    /// One snapshot per shard, index = shard id.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+impl ShardedKvStats {
+    /// Total reads across shards (racy sum; exact while quiescent).
+    pub fn reads(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.reads).sum()
+    }
+
+    /// Total writes across shards (racy sum; exact while quiescent).
+    pub fn writes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.writes).sum()
+    }
+
+    /// Field-wise sum of the per-shard DB lock counters.
+    pub fn db_lock_totals(&self) -> RwStats {
+        let mut t = RwStats::default();
+        for s in &self.per_shard {
+            t.reader_culls += s.db_lock.reader_culls;
+            t.reader_reprovisions += s.db_lock.reader_reprovisions;
+            t.reader_fairness_grants += s.db_lock.reader_fairness_grants;
+            t.write_episodes += s.db_lock.write_episodes;
+            t.writer_drain_waits += s.db_lock.writer_drain_waits;
+        }
+        t
+    }
+
+    /// The busiest shard's share of all writes, in `[0, 1]`
+    /// (0 when no writes happened). The skew diagnostic the
+    /// `sharded_contention` workload reports.
+    pub fn hottest_write_share(&self) -> f64 {
+        let writes: Vec<u64> = self.per_shard.iter().map(|s| s.writes).collect();
+        hottest_share(&writes)
+    }
+}
+
+/// A sharded KV store: `N` × ([`MiniKv`] + [`SimpleLru`]) behind `N`
+/// independent Malthusian lock pairs, with fixed fibonacci-hash
+/// routing.
+///
+/// See the module docs for the cross-shard snapshot-consistency
+/// contract.
+///
+/// # Examples
+///
+/// ```
+/// use malthus_storage::ShardedKv;
+///
+/// let kv = ShardedKv::new(4, 1_024, 1_024);
+/// kv.mset(&[(1, 10), (2, 20), (3, 30)]);
+/// assert_eq!(kv.mget(&[1, 2, 9]), vec![Some(10), Some(20), None]);
+/// assert_eq!(kv.scan(2, 8), vec![(2, 20), (3, 30)]);
+/// ```
+pub struct ShardedKv {
+    router: ShardRouter,
+    shards: Vec<Shard>,
+}
+
+impl ShardedKv {
+    /// Creates a store with `shards` shards, each freezing its
+    /// memtable at `memtable_limit` entries and caching
+    /// `cache_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero (via [`ShardRouter::new`]) or the
+    /// per-shard parameters are invalid (via [`MiniKv::new`] /
+    /// [`SimpleLru::new`]).
+    pub fn new(shards: usize, memtable_limit: usize, cache_blocks: usize) -> Self {
+        let router = ShardRouter::new(shards);
+        let shards = (0..shards)
+            .map(|_| Shard {
+                db: RwCrMutex::default_cr(MiniKv::new(memtable_limit)),
+                cache: McsCrMutex::default_cr(SimpleLru::new(cache_blocks)),
+                mgets: AtomicU64::new(0),
+                msets: LockCounter::new(),
+                scans: AtomicU64::new(0),
+            })
+            .collect();
+        ShardedKv { router, shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router (so callers — tests, diagnostics — can predict
+    /// which shard a key lands on).
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The DB lock of shard `index`, exposed for lock-semantics tests
+    /// and diagnostics (e.g. proving two writers on different shards
+    /// run concurrently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= shard_count()`.
+    pub fn db_lock(&self, index: usize) -> &RwCrMutex<MiniKv> {
+        &self.shards[index].db
+    }
+
+    /// Inserts or updates one key (exclusive access to its shard
+    /// only).
+    pub fn put(&self, key: u64, value: u64) {
+        self.shards[self.router.route(key)]
+            .db
+            .write()
+            .put(key, value);
+    }
+
+    /// Point lookup on the key's shard: shared DB lock, memtable
+    /// first, block cache only on a memtable miss — the same split
+    /// read path as the single-lock service, now per shard.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let tid = current_thread_index();
+        let shard = &self.shards[self.router.route(key)];
+        let db = shard.db.read();
+        if let Some(v) = db.get_memtable(key) {
+            return Some(v);
+        }
+        let mut cache = shard.cache.lock();
+        db.get_runs(key, &mut cache, tid)
+    }
+
+    /// Batched lookup: results in `keys` order, each shard's lock
+    /// taken at most once. Per-shard atomic, cross-shard racy (see
+    /// the module contract).
+    pub fn mget(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        let tid = current_thread_index();
+        let mut out = vec![None; keys.len()];
+        for (shard, indices) in self
+            .router
+            .group_indices(keys.iter().copied())
+            .into_iter()
+            .enumerate()
+        {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[shard];
+            let db = shard.db.read();
+            shard.mgets.fetch_add(1, Ordering::Relaxed);
+            for i in indices {
+                let key = keys[i];
+                out[i] = db.get_memtable(key).or_else(|| {
+                    let mut cache = shard.cache.lock();
+                    db.get_runs(key, &mut cache, tid)
+                });
+            }
+        }
+        out
+    }
+
+    /// Batched insert/update; later duplicates in `pairs` win, as
+    /// with sequential puts. Each shard's write lock is taken at most
+    /// once; the batch becomes visible shard-by-shard (see the module
+    /// contract). Returns the number of pairs written.
+    pub fn mset(&self, pairs: &[(u64, u64)]) -> usize {
+        for (shard, indices) in self
+            .router
+            .group_indices(pairs.iter().map(|&(k, _)| k))
+            .into_iter()
+            .enumerate()
+        {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[shard];
+            let mut db = shard.db.write();
+            shard.msets.bump();
+            for i in indices {
+                let (k, v) = pairs[i];
+                db.put(k, v);
+            }
+        }
+        pairs.len()
+    }
+
+    /// Ordered range scan: up to `limit` pairs with `key >= start`,
+    /// ascending, `limit` clamped to [`MAX_SCAN_LIMIT`].
+    ///
+    /// Visits every shard (keys are hash-routed, so any shard may
+    /// hold part of any key range) **one at a time**, collecting up
+    /// to `limit` candidates per shard under that shard's read lock,
+    /// then merges. Shards hold disjoint key sets, so the merge is a
+    /// plain sort. The result is a racy cross-shard snapshot:
+    /// per-shard consistent, but a concurrent writer may land between
+    /// two shard visits (module contract).
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let limit = limit.min(MAX_SCAN_LIMIT);
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for shard in &self.shards {
+            let db = shard.db.read();
+            shard.scans.fetch_add(1, Ordering::Relaxed);
+            merged.extend(db.scan_from(start, limit));
+        }
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        merged.truncate(limit);
+        merged
+    }
+
+    /// Per-shard statistics, sampled shard-by-shard without ever
+    /// holding two shard locks at once (racy cross-shard snapshot;
+    /// module contract). Within one shard, the DB counters are read
+    /// under the read lock and the cache counters under the cache
+    /// lock — taken one after the other, not nested.
+    pub fn stats(&self) -> ShardedKvStats {
+        let per_shard = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reads, writes, keys, runs) = {
+                    let db = shard.db.read();
+                    (db.reads(), db.writes(), db.len_estimate(), db.run_count())
+                };
+                let cache = shard.cache.lock().stats();
+                ShardSnapshot {
+                    reads,
+                    writes,
+                    keys,
+                    runs,
+                    mgets: shard.mgets.load(Ordering::Relaxed),
+                    msets: shard.msets.get(),
+                    scans: shard.scans.load(Ordering::Relaxed),
+                    db_lock: shard.db.raw().stats(),
+                    cache,
+                }
+            })
+            .collect();
+        ShardedKvStats { per_shard }
+    }
+}
+
+impl std::fmt::Debug for ShardedKv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedKv")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_round_trip_across_shards() {
+        let kv = ShardedKv::new(4, 64, 256);
+        for k in 0..500u64 {
+            kv.put(k, k * 3);
+        }
+        for k in 0..500u64 {
+            assert_eq!(kv.get(k), Some(k * 3), "key {k}");
+        }
+        assert_eq!(kv.get(10_000), None);
+        // Every shard must have received some of the keys.
+        let stats = kv.stats();
+        for (i, s) in stats.per_shard.iter().enumerate() {
+            assert!(s.writes > 0, "shard {i} got no writes");
+        }
+        assert_eq!(stats.writes(), 500);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_minikv_semantics() {
+        let kv = ShardedKv::new(1, 8, 64);
+        for k in 0..40u64 {
+            kv.put(k, k + 1);
+        }
+        for k in 0..40u64 {
+            assert_eq!(kv.get(k), Some(k + 1));
+        }
+        let stats = kv.stats();
+        assert_eq!(stats.per_shard.len(), 1);
+        assert_eq!(stats.writes(), 40);
+    }
+
+    #[test]
+    fn mget_answers_in_key_order() {
+        let kv = ShardedKv::new(4, 16, 64);
+        kv.mset(&[(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(
+            kv.mget(&[3, 99, 1, 2, 3]),
+            vec![Some(30), None, Some(10), Some(20), Some(30)]
+        );
+        assert_eq!(kv.mget(&[]), Vec::<Option<u64>>::new());
+    }
+
+    #[test]
+    fn mset_later_duplicates_win() {
+        let kv = ShardedKv::new(4, 16, 64);
+        assert_eq!(kv.mset(&[(7, 1), (7, 2), (7, 3)]), 3);
+        assert_eq!(kv.get(7), Some(3));
+    }
+
+    #[test]
+    fn scan_merges_shards_in_key_order() {
+        let kv = ShardedKv::new(4, 8, 64);
+        for k in 0..100u64 {
+            kv.put(k, k + 500);
+        }
+        let all = kv.scan(0, 1_000);
+        assert_eq!(all.len(), 100);
+        for (i, &(k, v)) in all.iter().enumerate() {
+            assert_eq!(k, i as u64, "keys ascending and dense");
+            assert_eq!(v, k + 500);
+        }
+        assert_eq!(kv.scan(90, 5).len(), 5);
+        assert_eq!(kv.scan(90, 5)[0].0, 90);
+        assert!(kv.scan(1_000, 5).is_empty());
+        assert!(kv.scan(0, 0).is_empty());
+    }
+
+    #[test]
+    fn scan_limit_is_clamped() {
+        let kv = ShardedKv::new(2, 16, 64);
+        kv.put(1, 1);
+        assert_eq!(kv.scan(0, usize::MAX).len(), 1);
+    }
+
+    #[test]
+    fn batch_counters_count_per_shard_touches() {
+        let kv = ShardedKv::new(2, 16, 64);
+        kv.mset(&[(1, 1), (2, 2), (3, 3), (4, 4)]);
+        kv.mget(&[1, 2, 3, 4]);
+        kv.scan(0, 10);
+        let stats = kv.stats();
+        let msets: u64 = stats.per_shard.iter().map(|s| s.msets).sum();
+        let mgets: u64 = stats.per_shard.iter().map(|s| s.mgets).sum();
+        let scans: u64 = stats.per_shard.iter().map(|s| s.scans).sum();
+        // Four keys over two shards: each batch touches 1..=2 shards;
+        // the scan visits both.
+        assert!((1..=2).contains(&msets), "msets = {msets}");
+        assert!((1..=2).contains(&mgets), "mgets = {mgets}");
+        assert_eq!(scans, 2);
+    }
+
+    #[test]
+    fn read_side_batch_counters_survive_concurrent_batches() {
+        // mgets/scans are bumped under the *shared* DB lock, where
+        // bumpers run concurrently — they must be real RMWs, not
+        // LockCounter's plain load+store. Lost counts would leave the
+        // quiescent totals short.
+        let kv = Arc::new(ShardedKv::new(1, 64, 256));
+        let per_thread = 5_000u64;
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let kv = Arc::clone(&kv);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        kv.mget(&[1, 2]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // One shard: every mget bumps exactly once.
+        assert_eq!(kv.stats().per_shard[0].mgets, 4 * per_thread);
+    }
+
+    #[test]
+    fn stats_while_writing_is_a_coherent_racy_sum() {
+        let kv = Arc::new(ShardedKv::new(4, 64, 256));
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let kv = Arc::clone(&kv);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        kv.put(t * 100_000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        // Sampled sums must be monotonic and never exceed the final
+        // total — per-shard counters only grow.
+        let mut last = 0u64;
+        for _ in 0..50 {
+            let w = kv.stats().writes();
+            assert!(w >= last, "sum went backwards: {w} < {last}");
+            assert!(w <= 4_000);
+            last = w;
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(kv.stats().writes(), 4_000, "exact once quiescent");
+    }
+
+    #[test]
+    fn hottest_write_share_detects_skew() {
+        let kv = ShardedKv::new(4, 64, 256);
+        assert_eq!(kv.stats().hottest_write_share(), 0.0);
+        // All writes to one key = one shard: share 1.0.
+        for _ in 0..100 {
+            kv.put(42, 1);
+        }
+        assert!((kv.stats().hottest_write_share() - 1.0).abs() < 1e-12);
+        // Spread writes: share drops toward 1/shards.
+        for k in 0..10_000u64 {
+            kv.put(k, 1);
+        }
+        assert!(kv.stats().hottest_write_share() < 0.5);
+    }
+
+    #[test]
+    fn sharded_kv_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ShardedKv>();
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`bufferpool`] | Fig. 14 | append-probability sweep |
 //! | [`pool_saturation`] | §7 (beyond locks) | scheduler-level CR via the work crew |
 //! | [`rwreadwrite`] | §6.5 (live, RW locks) | read-fraction sweep over the RW-CR lock |
+//! | [`sharded_contention`] | beyond §6.5 (live, sharded) | skewed traffic over N per-shard lock pairs |
 //!
 //! [`LockChoice`] names the lock configurations of the figures
 //! (`MCS-S`, `MCS-STP`, `MCSCR-S`, `MCSCR-STP`, `null`).
@@ -42,6 +43,7 @@ pub mod randarray;
 pub mod readwhilewriting;
 pub mod ringwalker;
 pub mod rwreadwrite;
+pub mod sharded_contention;
 pub mod stress_latency;
 
 pub use choice::LockChoice;
