@@ -14,10 +14,16 @@
 //! Flags:
 //!
 //! * `--pipeline-depth <n>` — outstanding requests per connection.
-//!   Only `1` (the default, the closed loop this binary has always
-//!   run) is implemented; other values are rejected rather than
-//!   silently ignored. The flag exists so the future pipelined
-//!   protocol lands on a stable CLI surface.
+//!   `1` (the default) is the classic untagged closed loop,
+//!   byte-identical to the pre-pipelining protocol. Depths above 1
+//!   run a **tagged window**: each connection keeps up to `n`
+//!   `#<tag>`-prefixed requests in flight, matches every response's
+//!   echoed tag against the oldest outstanding one (the server
+//!   answers in request order), and refills the window as responses
+//!   drain. Reported latency is request-send to response-receive, so
+//!   at depth > 1 it includes time queued in the window — deeper
+//!   pipelines trade per-request latency for throughput, which is
+//!   exactly the trade worth measuring.
 //!
 //! Environment knobs:
 //!
@@ -33,6 +39,7 @@
 //!   batched read path.
 //! * `MALTHUS_KV_SHUTDOWN` — set to `1` to send `SHUTDOWN` when done.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,9 +61,13 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Upper bound on `--pipeline-depth`: far deeper than batching can
+/// pay off, shallow enough that a typo'd depth cannot OOM the window
+/// bookkeeping.
+const MAX_PIPELINE_DEPTH: u64 = 1_024;
+
 /// Parses `--pipeline-depth <n>`, the only flag. Depth 1 is the
-/// closed loop; anything else is honestly rejected until the
-/// pipelined protocol exists.
+/// classic untagged closed loop; deeper runs the tagged window.
 fn parse_pipeline_depth() -> u64 {
     let mut depth = env_u64("MALTHUS_KV_PIPELINE_DEPTH", 1);
     let mut args = std::env::args().skip(1);
@@ -75,11 +86,8 @@ fn parse_pipeline_depth() -> u64 {
             }
         }
     }
-    if depth != 1 {
-        eprintln!(
-            "kv_load: --pipeline-depth {depth} is not implemented yet; the wire \
-             protocol is one request per round trip (depth 1)"
-        );
+    if depth == 0 || depth > MAX_PIPELINE_DEPTH {
+        eprintln!("kv_load: --pipeline-depth must be in 1..={MAX_PIPELINE_DEPTH}, got {depth}");
         std::process::exit(2);
     }
     depth
@@ -107,7 +115,7 @@ struct OpTrack {
 }
 
 fn main() {
-    let pipeline_depth = parse_pipeline_depth();
+    let depth = parse_pipeline_depth() as usize;
     let addr: SocketAddr = std::env::var("MALTHUS_KV_ADDR")
         .unwrap_or_else(|_| DEFAULT_ADDR.to_string())
         .parse()
@@ -121,7 +129,7 @@ fn main() {
 
     eprintln!(
         "# kv_load: {conns} connections x {seconds} s against {addr} \
-         (pipeline depth {pipeline_depth}, {put_pct}% PUT, {mget_pct}% MGET)"
+         (pipeline depth {depth}, {put_pct}% PUT, {mget_pct}% MGET)"
     );
     // Separate per-op-type histograms: the DB locks are Malthusian
     // RW locks, so each path has a different admission cost and
@@ -146,39 +154,100 @@ fn main() {
                 let rng = XorShift64::new(0xC0FFEE ^ (c as u64 + 1));
                 let mut ops = 0u64;
                 let mut req = String::new();
-                while !stop.load(Ordering::Relaxed) {
+                // Histograms by op kind; `build` writes the next
+                // request into the reused buffer (no per-op String
+                // allocation in the hot loop) and returns its kind.
+                let hists = [&get_hist, &put_hist, &mget_hist];
+                let build = |req: &mut String| -> usize {
                     let key = rng.next_below(keys);
                     let dice = rng.next_below(100);
                     req.clear();
-                    // write! into the reused buffer: no per-op String
-                    // allocation in the request hot loop.
-                    let hist = if dice < put_pct {
+                    if dice < put_pct {
                         let _ = write!(req, "PUT {key} {}", key.wrapping_mul(31));
-                        &put_hist
+                        1
                     } else if dice < put_pct + mget_pct {
                         req.push_str("MGET");
                         for _ in 0..MGET_BATCH {
                             let _ = write!(req, " {}", rng.next_below(keys));
                         }
-                        &mget_hist
+                        2
                     } else {
                         let _ = write!(req, "GET {key}");
-                        &get_hist
-                    };
-                    let t0 = Instant::now();
-                    match client.roundtrip(&req) {
-                        Ok(resp) if resp.starts_with("ERR") => {
-                            // Failed requests must not pollute the
-                            // throughput/latency figures.
-                            errors.fetch_add(1, Ordering::Relaxed);
+                        0
+                    }
+                };
+                if depth == 1 {
+                    // The classic untagged closed loop — byte-identical
+                    // to the pre-pipelining wire traffic.
+                    while !stop.load(Ordering::Relaxed) {
+                        let kind = build(&mut req);
+                        let t0 = Instant::now();
+                        match client.roundtrip(&req) {
+                            Ok(resp) if resp.starts_with("ERR") => {
+                                // Failed requests must not pollute the
+                                // throughput/latency figures.
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) => {
+                                hists[kind].record(t0.elapsed());
+                                ops += 1;
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                return ops;
+                            }
                         }
-                        Ok(_) => {
-                            hist.record(t0.elapsed());
-                            ops += 1;
+                    }
+                    return ops;
+                }
+                // Tagged window: keep up to `depth` requests in
+                // flight; the server answers in request order, so the
+                // next response must echo the oldest outstanding tag.
+                let mut outstanding: VecDeque<(u64, usize, Instant)> =
+                    VecDeque::with_capacity(depth);
+                let mut seq = 0u64;
+                'window: while !stop.load(Ordering::Relaxed) {
+                    while outstanding.len() < depth {
+                        let kind = build(&mut req);
+                        if client.send_tagged(seq, &req).is_err() {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break 'window;
+                        }
+                        outstanding.push_back((seq, kind, Instant::now()));
+                        seq += 1;
+                    }
+                    let (exp, kind, t0) = outstanding.pop_front().expect("window was just filled");
+                    match client.recv_tagged() {
+                        Ok((tag, resp)) => {
+                            assert_eq!(tag, exp, "pipeline tag mismatch");
+                            if resp.starts_with("ERR") {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                hists[kind].record(t0.elapsed());
+                                ops += 1;
+                            }
                         }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
                             return ops;
+                        }
+                    }
+                }
+                // Drain the window so every sent request is accounted.
+                while let Some((exp, kind, t0)) = outstanding.pop_front() {
+                    match client.recv_tagged() {
+                        Ok((tag, resp)) => {
+                            assert_eq!(tag, exp, "pipeline tag mismatch");
+                            if resp.starts_with("ERR") {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                hists[kind].record(t0.elapsed());
+                                ops += 1;
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break;
                         }
                     }
                 }

@@ -126,6 +126,15 @@ fn main() {
         "# kv_server: completed={} culls={} reprovisions={} promotions={}",
         stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
     );
+    // How much per-wakeup batching the pipelined connections achieved
+    // (batch = the lock-admission and write-flush unit).
+    let p = service.pipeline_stats();
+    let (bp50, bp99) = p.batch_quantiles();
+    eprintln!(
+        "# kv_server: pipeline batches={} max_batch={} batch_p50={bp50} batch_p99={bp99}",
+        p.batches(),
+        p.max_batch(),
+    );
     // Per-shard exit report: how evenly the traffic spread and what
     // each shard's admission machinery did.
     for (i, s) in service.store().stats().per_shard.iter().enumerate() {

@@ -21,7 +21,8 @@
 //! [`malthus_storage::sharded`] for the full contract, which is also
 //! the wire contract).
 //!
-//! The wire protocol is line-oriented text (one request, one response):
+//! The wire protocol is line-oriented text (one line per request, one
+//! line per response):
 //!
 //! | Request | Response |
 //! |---|---|
@@ -36,17 +37,58 @@
 //! | `QUIT` | connection closes |
 //! | anything else | `ERR <reason>` |
 //!
-//! Keys and values are unsigned 64-bit integers. Connection readers
-//! are plain threads (cheap, blocked on I/O); all request *execution*
-//! flows through the crew, which is where concurrency is restricted.
+//! Keys and values are unsigned 64-bit integers.
+//!
+//! # Pipelining: tagged requests and batched under-lock execution
+//!
+//! Any request line may carry a **tag prefix** `#<tag> ` (tag a u64):
+//! the response to a tagged request is `#<tag> <response>`, so a
+//! client may keep a window of requests in flight and match replies.
+//! Untagged lines behave byte-identically to the pre-pipelining
+//! protocol, so depth-1 clients never notice. A malformed tag
+//! (`#banana GET 1`, a bare `#`) earns an untagged `ERR` and the
+//! connection stays open.
+//!
+//! **Responses always come back in request order** — tags are for the
+//! client's bookkeeping, not for reordering. What pipelining changes
+//! is the server's execution shape: each reader wakeup **drains every
+//! complete request line already buffered** on the connection and
+//! submits the whole batch as *one* crew task. The batch groups its
+//! GET/PUT/MGET/MSET ops by shard (via
+//! [`ShardRouter::group_indices`](malthus_storage::ShardRouter::group_indices))
+//! and executes each shard's group under a **single** DB-lock
+//! acquisition — shared if the group is read-only, exclusive if it
+//! contains any write ([`ShardedKv::execute_batch`]) — then flushes
+//! every response of the batch in **one** write. A connection at
+//! pipeline depth `n` therefore pays ~one lock admission and one
+//! syscall per batch instead of per request: the
+//! few-threads-much-work-per-admission shape the paper argues
+//! saturated locks want.
+//!
+//! The consistency contract refines per batch: a drained batch's
+//! per-shard group executes **atomically per shard, in request
+//! order** (per-key, a batch behaves exactly like sequential
+//! requests), while cross-shard visibility remains the racy snapshot
+//! of [`malthus_storage::sharded`]. `SCAN`/`PING`/`STATS` execute at
+//! their position in the batch through the existing per-request
+//! paths.
+//!
+//! Connection readers are plain threads (cheap, blocked on I/O); all
+//! request *execution* flows through the crew, which is where
+//! concurrency is restricted. A reader submits one batch at a time
+//! and waits for its flush before draining the next, so batches from
+//! one connection never interleave; the next burst accumulates in the
+//! socket while the current batch executes, which is exactly what
+//! makes the next drain bigger under load (group-commit dynamics).
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 
-use malthus_storage::ShardedKv;
+use malthus_metrics::LatencyHistogram;
+use malthus_storage::{BatchOp, BatchReply, ShardedKv};
 
 use crate::crew::WorkCrew;
 
@@ -149,10 +191,98 @@ fn rest_u64s<'a>(verb: &str, parts: impl Iterator<Item = &'a str>) -> Result<Vec
         .collect()
 }
 
+/// Splits an optional `#<tag>` pipeline prefix off a request line,
+/// returning `(tag, rest-of-line)`.
+///
+/// Lines not starting with `#` are untagged — the pre-pipelining
+/// grammar, passed through untouched. A line that starts with `#` but
+/// whose tag is not a u64 is an error: the server answers it with an
+/// *untagged* `ERR` (there is no trustworthy tag to echo) and keeps
+/// the connection open.
+pub fn split_tag(line: &str) -> Result<(Option<u64>, &str), String> {
+    let Some(rest) = line.strip_prefix('#') else {
+        return Ok((None, line));
+    };
+    let (tag_str, after) = match rest.split_once(char::is_whitespace) {
+        Some((t, a)) => (t, a),
+        None => (rest, ""),
+    };
+    let tag = tag_str
+        .parse::<u64>()
+        .map_err(|_| format!("malformed tag {tag_str:?} (tags are u64s)"))?;
+    Ok((Some(tag), after.trim_start()))
+}
+
+/// Appends the `#<tag> ` reply prefix for a tagged request; untagged
+/// requests get none (byte-identical legacy framing).
+fn write_tag(out: &mut String, tag: Option<u64>) {
+    if let Some(t) = tag {
+        let _ = write!(out, "#{t} ");
+    }
+}
+
+/// Service-wide pipeline observability: how much batching the drained
+/// wakeups actually achieved.
+///
+/// `batches`/`max_batch` are updated live, per batch. The batch-size
+/// *distribution* is collected in a per-connection
+/// [`LatencyHistogram`] (reused across that connection's batches,
+/// recording batch sizes as integer "nanoseconds") and folded into
+/// the service-wide histogram via [`LatencyHistogram::merge`] when
+/// the connection closes — so the `STATS` quantiles cover completed
+/// connections, the same racy-snapshot contract as every other
+/// counter here.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+impl PipelineStats {
+    /// Records one drained batch of `n` requests (live counters).
+    fn note_batch(&self, n: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Folds a closing connection's batch-size histogram into the
+    /// service-wide distribution.
+    fn merge_connection(&self, conn_hist: &LatencyHistogram) {
+        self.hist.merge(conn_hist);
+    }
+
+    /// Total batches drained (one batch = one reader wakeup that
+    /// found at least one executable request).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// The largest batch any connection drained in one wakeup.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// `(p50, p99)` of the batch-size distribution, in requests per
+    /// batch, over connections that have closed (0 before any have).
+    pub fn batch_quantiles(&self) -> (u64, u64) {
+        let (p50, p99) = self.hist.p50_p99();
+        (p50.as_nanos() as u64, p99.as_nanos() as u64)
+    }
+
+    /// Batches recorded in the merged distribution (closed
+    /// connections only; lags [`PipelineStats::batches`] while
+    /// connections are open).
+    pub fn merged_batches(&self) -> u64 {
+        self.hist.count()
+    }
+}
+
 /// The shared storage state: N shards, each the two contended locks
 /// of §6.5, behind fixed fibonacci-hash routing.
 pub struct KvService {
     store: ShardedKv,
+    pipeline: PipelineStats,
 }
 
 impl KvService {
@@ -168,12 +298,19 @@ impl KvService {
     pub fn with_shards(shards: usize, memtable_limit: usize, cache_blocks: usize) -> Self {
         KvService {
             store: ShardedKv::new(shards, memtable_limit, cache_blocks),
+            pipeline: PipelineStats::default(),
         }
     }
 
     /// The backing sharded store (per-shard lock and stats access).
     pub fn store(&self) -> &ShardedKv {
         &self.store
+    }
+
+    /// Pipeline observability: drained-batch counters and the
+    /// batch-size distribution (see [`PipelineStats`]).
+    pub fn pipeline_stats(&self) -> &PipelineStats {
+        &self.pipeline
     }
 
     /// Inserts or updates a key (exclusive access to its shard only).
@@ -204,22 +341,34 @@ impl KvService {
     /// Executes a request and renders its response line. `Quit` and
     /// `Shutdown` render here too; connection/acceptor control flow is
     /// the caller's job.
+    ///
+    /// Convenience wrapper over [`KvService::apply_into`] for tests
+    /// and one-off callers; the connection handler renders into a
+    /// reused per-connection buffer instead.
     pub fn apply(&self, req: Request, crew: &WorkCrew) -> String {
+        let mut out = String::new();
+        self.apply_into(&req, crew, &mut out);
+        out
+    }
+
+    /// Executes a request, appending its response line (without the
+    /// trailing newline) to `out` — `write!` into a caller-reused
+    /// buffer, no per-request response allocation.
+    pub fn apply_into(&self, req: &Request, crew: &WorkCrew, out: &mut String) {
         match req {
             Request::Put(k, v) => {
-                self.put(k, v);
-                "OK".to_string()
+                self.put(*k, *v);
+                out.push_str("OK");
             }
-            Request::Get(k) => match self.get(k) {
-                Some(v) => format!("VAL {v}"),
-                None => "NIL".to_string(),
+            Request::Get(k) => match self.get(*k) {
+                Some(v) => {
+                    let _ = write!(out, "VAL {v}");
+                }
+                None => out.push_str("NIL"),
             },
             Request::Mget(keys) => {
-                // write! into one buffer: batch responses render on a
-                // crew worker (scarce ACS slots), so no per-value
-                // temporary Strings.
-                let mut out = String::from("VALS");
-                for v in self.store.mget(&keys) {
+                out.push_str("VALS");
+                for v in self.store.mget(keys) {
                     match v {
                         Some(v) => {
                             let _ = write!(out, " {v}");
@@ -227,21 +376,19 @@ impl KvService {
                         None => out.push_str(" -"),
                     }
                 }
-                out
             }
             Request::Mset(pairs) => {
-                let n = self.store.mset(&pairs);
-                format!("OK {n}")
+                let n = self.store.mset(pairs);
+                let _ = write!(out, "OK {n}");
             }
             Request::Scan(start, limit) => {
-                let limit = usize::try_from(limit).unwrap_or(usize::MAX);
-                let mut out = String::from("RANGE");
-                for (k, v) in self.store.scan(start, limit) {
+                let limit = usize::try_from(*limit).unwrap_or(usize::MAX);
+                out.push_str("RANGE");
+                for (k, v) in self.store.scan(*start, limit) {
                     let _ = write!(out, " {k}={v}");
                 }
-                out
             }
-            Request::Ping => "PONG".to_string(),
+            Request::Ping => out.push_str("PONG"),
             Request::Stats => {
                 // One shard walk for the whole response: counters and
                 // lock stats come from the same snapshot, and the
@@ -252,20 +399,141 @@ impl KvService {
                 let (reads, writes) = (store.reads(), store.writes());
                 let s = crew.stats();
                 let db = store.db_lock_totals();
-                format!(
+                let (bp50, bp99) = self.pipeline.batch_quantiles();
+                let _ = write!(
+                    out,
                     "STATS reads={reads} writes={writes} completed={} culls={} \
-                     reprovisions={} promotions={} rculls={} rgrants={} shards={}",
+                     reprovisions={} promotions={} rculls={} rgrants={} \
+                     pbatches={} pbatchmax={} pbatch_p50={bp50} pbatch_p99={bp99} shards={}",
                     s.completed,
                     s.culls,
                     s.reprovisions,
                     s.fairness_promotions,
                     db.reader_culls,
                     db.reader_reprovisions + db.reader_fairness_grants,
+                    self.pipeline.batches(),
+                    self.pipeline.max_batch(),
                     self.store.shard_count()
-                )
+                );
             }
-            Request::Shutdown | Request::Quit => "OK".to_string(),
+            Request::Shutdown | Request::Quit => out.push_str("OK"),
         }
+    }
+
+    /// Renders the response to one reply of a storage batch.
+    fn render_batch_reply(out: &mut String, reply: &BatchReply) {
+        match reply {
+            BatchReply::Value(Some(v)) => {
+                let _ = write!(out, "VAL {v}");
+            }
+            BatchReply::Value(None) => out.push_str("NIL"),
+            BatchReply::Done => out.push_str("OK"),
+            BatchReply::Values(vs) => {
+                out.push_str("VALS");
+                for v in vs {
+                    match v {
+                        Some(v) => {
+                            let _ = write!(out, " {v}");
+                        }
+                        None => out.push_str(" -"),
+                    }
+                }
+            }
+            BatchReply::Wrote(n) => {
+                let _ = write!(out, "OK {n}");
+            }
+        }
+    }
+
+    /// Executes one drained batch, appending every response line (in
+    /// request order, newline-terminated, tags echoed) to `out`.
+    ///
+    /// Maximal contiguous runs of data ops (GET/PUT/MGET/MSET) are
+    /// handed to [`ShardedKv::execute_batch`] — grouped by shard, one
+    /// lock hold per shard group — so request order is preserved
+    /// *exactly*: a `SCAN`, `PING` or `STATS` in the middle of a
+    /// batch executes at its position between the runs around it.
+    /// Parse errors render `ERR` at their position without touching
+    /// the store. A run of one (every request at pipeline depth 1)
+    /// skips the grouping machinery entirely and takes the direct
+    /// single-op paths — the pre-pipelining hot path, allocation-free
+    /// on GET/PUT.
+    pub fn apply_batch(&self, batch: &[Parsed], crew: &WorkCrew, out: &mut String) {
+        let mut i = 0;
+        while i < batch.len() {
+            // Collect the maximal run of batchable data ops at i.
+            let run_end = batch[i..]
+                .iter()
+                .position(|p| !p.is_batchable())
+                .map_or(batch.len(), |off| i + off);
+            if run_end > i + 1 {
+                let ops: Vec<BatchOp<'_>> = batch[i..run_end]
+                    .iter()
+                    .map(|p| match &p.body {
+                        Ok(Request::Get(k)) => BatchOp::Get(*k),
+                        Ok(Request::Put(k, v)) => BatchOp::Put(*k, *v),
+                        Ok(Request::Mget(keys)) => BatchOp::Mget(keys),
+                        Ok(Request::Mset(pairs)) => BatchOp::Mset(pairs),
+                        _ => unreachable!("run contains only data ops"),
+                    })
+                    .collect();
+                let replies = self.store.execute_batch(&ops);
+                for (p, reply) in batch[i..run_end].iter().zip(&replies) {
+                    write_tag(out, p.tag);
+                    Self::render_batch_reply(out, reply);
+                    out.push('\n');
+                }
+                i = run_end;
+                continue;
+            }
+            let p = &batch[i];
+            write_tag(out, p.tag);
+            match &p.body {
+                Ok(req) => self.apply_into(req, crew, out),
+                Err(e) => {
+                    let _ = write!(out, "ERR {e}");
+                }
+            }
+            out.push('\n');
+            i += 1;
+        }
+    }
+}
+
+/// One request of a drained batch: its echo tag (if tagged) and the
+/// parse result — errors ride along so `ERR` renders at the request's
+/// position in the response stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The `#<tag>` to echo, if the request carried one.
+    pub tag: Option<u64>,
+    /// The parsed request, or the parse error to report.
+    pub body: Result<Request, String>,
+}
+
+impl Parsed {
+    /// Parses one raw line: tag prefix first, then the verb grammar.
+    /// A malformed tag yields an untagged error body.
+    pub fn from_line(line: &str) -> Parsed {
+        match split_tag(line) {
+            Ok((tag, rest)) => Parsed {
+                tag,
+                body: Request::parse(rest),
+            },
+            Err(e) => Parsed {
+                tag: None,
+                body: Err(e),
+            },
+        }
+    }
+
+    /// Whether this request can join a storage batch run (data ops
+    /// with parse errors, control verbs and aggregates excluded).
+    fn is_batchable(&self) -> bool {
+        matches!(
+            self.body,
+            Ok(Request::Get(_) | Request::Put(..) | Request::Mget(_) | Request::Mset(_))
+        )
     }
 }
 
@@ -327,11 +595,12 @@ pub fn bind(addr: &str) -> std::io::Result<(TcpListener, ServerControl)> {
 /// disconnected (in-flight requests already on the crew complete, but
 /// their responses may not be deliverable).
 ///
-/// Each connection gets a reader thread that parses request lines and
-/// submits their execution to `crew`; responses are written back from
-/// the crew worker. Clients are expected to run closed-loop (one
-/// outstanding request per connection), which is what the bundled
-/// load generator does. Transient `accept` failures (`EMFILE`,
+/// Each connection gets a reader thread that drains complete request
+/// lines per wakeup and submits each drained batch to `crew` as one
+/// task; responses are rendered and flushed (one write per batch)
+/// from the crew worker. Clients may run closed-loop (one outstanding
+/// request) or pipelined (a tagged window, as `kv_load
+/// --pipeline-depth` does). Transient `accept` failures (`EMFILE`,
 /// `ECONNABORTED`, …) are logged and survived, not propagated.
 pub fn serve(
     listener: TcpListener,
@@ -389,7 +658,7 @@ fn handle_connection(
     service: &Arc<KvService>,
     control: &ServerControl,
 ) {
-    // One short response per request: Nagle + the peer's delayed ACK
+    // Few short responses per flush: Nagle + the peer's delayed ACK
     // would otherwise stall every reply by tens of milliseconds.
     let _ = stream.set_nodelay(true);
     let Ok(writer) = stream.try_clone().map(Arc::new) else {
@@ -397,62 +666,125 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    loop {
+    // Reused across batches: the parsed-request vector and the
+    // rendered-response buffer round-trip through the batch task's
+    // completion channel, so the steady state allocates per *batch*
+    // (one boxed task + one channel), never per request.
+    let mut batch: Vec<Parsed> = Vec::new();
+    let mut out = String::new();
+    // Per-connection batch-size distribution, merged into the
+    // service-wide histogram on disconnect (STATS pbatch_p50/p99).
+    let conn_hist = LatencyHistogram::new();
+    'conn: loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // disconnected
+            Ok(0) | Err(_) => break, // disconnected
             Ok(_) => {}
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+        // Drain-per-wakeup: after the blocking read above, every
+        // further *complete* line already sitting in the BufReader
+        // joins this batch — a pipelined burst mostly arrives in one
+        // `fill_buf`, so the whole window becomes one batch. Only
+        // buffered lines are taken (never another blocking read), so
+        // the batch is naturally bounded by the read-buffer capacity
+        // and a slow client cannot stall a crew worker.
+        let mut control_verb: Option<(Option<u64>, Request)> = None;
+        loop {
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                let p = Parsed::from_line(trimmed);
+                match p.body {
+                    Ok(Request::Quit) => {
+                        control_verb = Some((p.tag, Request::Quit));
+                        break;
+                    }
+                    Ok(Request::Shutdown) => {
+                        control_verb = Some((p.tag, Request::Shutdown));
+                        break;
+                    }
+                    _ => batch.push(p),
+                }
+            }
+            if !reader.buffer().contains(&b'\n') {
+                break;
+            }
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
         }
-        let req = match Request::parse(trimmed) {
-            Ok(r) => r,
-            Err(e) => {
-                if write_line(&writer, &format!("ERR {e}")).is_err() {
-                    return;
+        if !batch.is_empty() {
+            let n = batch.len() as u64;
+            service.pipeline_stats().note_batch(n);
+            conn_hist.record_ns(n);
+            // One crew task per batch: the batch is the admission
+            // unit. The channel returns the buffers for reuse and
+            // doubles as the completion signal — the reader keeps a
+            // single batch in flight so responses from one connection
+            // never interleave; the wait overlaps the client's own
+            // turnaround, and the next burst accumulates in the
+            // socket meanwhile.
+            let (tx, rx) = mpsc::channel();
+            let service_task = Arc::clone(service);
+            let crew_task = Arc::clone(crew);
+            let writer_task = Arc::clone(&writer);
+            let mut reqs = std::mem::take(&mut batch);
+            let mut buf = std::mem::take(&mut out);
+            let submitted = crew.submit(move || {
+                buf.clear();
+                service_task.apply_batch(&reqs, &crew_task, &mut buf);
+                // All of the batch's responses leave in one write.
+                let _ = write_all(&writer_task, buf.as_bytes());
+                reqs.clear();
+                let _ = tx.send((reqs, buf));
+            });
+            if submitted.is_err() {
+                let _ = write_all(&writer, b"ERR shutting down\n");
+                break 'conn;
+            }
+            match rx.recv() {
+                Ok((reqs_back, buf_back)) => {
+                    batch = reqs_back;
+                    out = buf_back;
                 }
-                continue;
+                // The batch task died without reporting (panicked
+                // mid-request): the response stream is broken, close.
+                Err(_) => break 'conn,
             }
-        };
-        match req {
-            Request::Quit => {
-                return;
-            }
-            Request::Shutdown => {
-                let _ = write_line(&writer, "OK");
+        }
+        match control_verb {
+            Some((tag, Request::Shutdown)) => {
+                out.clear();
+                write_tag(&mut out, tag);
+                out.push_str("OK\n");
+                let _ = write_all(&writer, out.as_bytes());
                 control.stop();
-                return;
+                break 'conn;
             }
-            _ => {
-                let service = Arc::clone(service);
-                let writer_for_task = Arc::clone(&writer);
-                let crew_for_task = Arc::clone(crew);
-                let submitted = crew.submit(move || {
-                    let resp = service.apply(req, &crew_for_task);
-                    let _ = write_line(&writer_for_task, &resp);
-                });
-                if submitted.is_err() {
-                    let _ = write_line(&writer, "ERR shutting down");
-                    return;
-                }
-            }
+            Some(_) => break 'conn, // QUIT: close without a response
+            None => {}
         }
     }
+    service.pipeline_stats().merge_connection(&conn_hist);
 }
 
-/// Writes `line` plus its terminator as a single `write` so the
-/// response leaves in one TCP segment.
-fn write_line(stream: &Arc<TcpStream>, line: &str) -> std::io::Result<()> {
-    let mut msg = String::with_capacity(line.len() + 1);
-    msg.push_str(line);
-    msg.push('\n');
+/// Writes `bytes` (one or more newline-terminated response lines) as
+/// a single `write` so a batch's responses leave in one TCP segment
+/// where they fit.
+fn write_all(stream: &Arc<TcpStream>, bytes: &[u8]) -> std::io::Result<()> {
     let mut s: &TcpStream = stream;
-    s.write_all(msg.as_bytes())
+    s.write_all(bytes)
 }
 
-/// A minimal closed-loop client for tests and the load generator.
+/// A minimal client for tests and the load generator: closed-loop via
+/// [`KvClient::roundtrip`], or pipelined via
+/// [`KvClient::send_tagged`]/[`KvClient::recv_tagged`] with a window
+/// of in-flight tags.
+///
+/// All receive methods return `&str` slices **borrowed from the
+/// client's reused line buffer** — the response is valid until the
+/// next call, and the read hot path allocates nothing.
 #[derive(Debug)]
 pub struct KvClient {
     reader: BufReader<TcpStream>,
@@ -475,12 +807,27 @@ impl KvClient {
         })
     }
 
-    /// Sends one request line and returns the response line.
-    pub fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+    /// Sends one request line (terminator appended) as a single
+    /// write, without waiting for the response.
+    pub fn send_line(&mut self, request: &str) -> std::io::Result<()> {
         self.out.clear();
         self.out.push_str(request);
         self.out.push('\n');
-        self.writer.write_all(self.out.as_bytes())?;
+        self.writer.write_all(self.out.as_bytes())
+    }
+
+    /// Sends one request under a `#<tag>` pipeline prefix without
+    /// waiting; the matching response will echo the tag.
+    pub fn send_tagged(&mut self, tag: u64, request: &str) -> std::io::Result<()> {
+        self.out.clear();
+        let _ = write!(self.out, "#{tag} {request}");
+        self.out.push('\n');
+        self.writer.write_all(self.out.as_bytes())
+    }
+
+    /// Receives one response line, borrowed from the reused buffer
+    /// (valid until the next client call).
+    pub fn recv_line(&mut self) -> std::io::Result<&str> {
         self.line.clear();
         let n = self.reader.read_line(&mut self.line)?;
         if n == 0 {
@@ -489,7 +836,38 @@ impl KvClient {
                 "server closed the connection",
             ));
         }
-        Ok(self.line.trim_end().to_string())
+        Ok(self.line.trim_end())
+    }
+
+    /// Receives one **tagged** response line, returning `(tag,
+    /// response)` with the response borrowed from the reused buffer.
+    /// An untagged or tag-garbled line is an
+    /// [`InvalidData`](std::io::ErrorKind::InvalidData) error —
+    /// pipelined callers have lost framing at that point.
+    pub fn recv_tagged(&mut self) -> std::io::Result<(u64, &str)> {
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let trimmed = self.line.trim_end();
+        match split_tag(trimmed) {
+            Ok((Some(tag), rest)) => Ok((tag, rest)),
+            Ok((None, _)) | Err(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a tagged response, got {trimmed:?}"),
+            )),
+        }
+    }
+
+    /// Sends one request line and returns the response line, borrowed
+    /// from the reused buffer (valid until the next client call).
+    pub fn roundtrip(&mut self, request: &str) -> std::io::Result<&str> {
+        self.send_line(request)?;
+        self.recv_line()
     }
 }
 
@@ -545,6 +923,104 @@ mod tests {
             .collect::<Vec<_>>()
             .join(" ");
         assert!(Request::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn split_tag_round_trips_the_framing() {
+        assert_eq!(split_tag("GET 1"), Ok((None, "GET 1")));
+        assert_eq!(split_tag("#0 GET 1"), Ok((Some(0), "GET 1")));
+        assert_eq!(split_tag("#42 PUT 1 2"), Ok((Some(42), "PUT 1 2")));
+        assert_eq!(
+            split_tag(&format!("#{} PING", u64::MAX)),
+            Ok((Some(u64::MAX), "PING"))
+        );
+        // Tag but no body: parse of "" fails later as "empty request".
+        assert_eq!(split_tag("#7"), Ok((Some(7), "")));
+        assert_eq!(split_tag("#7   GET   1"), Ok((Some(7), "GET   1")));
+        assert!(split_tag("#").is_err());
+        assert!(split_tag("#banana GET 1").is_err());
+        assert!(split_tag("#-3 GET 1").is_err());
+        assert!(split_tag("#1.5 GET 1").is_err());
+    }
+
+    #[test]
+    fn parsed_carries_tags_and_errors_positionally() {
+        let p = Parsed::from_line("#9 GET 4");
+        assert_eq!(p.tag, Some(9));
+        assert_eq!(p.body, Ok(Request::Get(4)));
+        let p = Parsed::from_line("#9 BOGUS");
+        assert_eq!(p.tag, Some(9), "tag echoes even on a bad verb");
+        assert!(p.body.is_err());
+        let p = Parsed::from_line("#oops GET 4");
+        assert_eq!(p.tag, None, "malformed tag cannot be echoed");
+        assert!(p.body.unwrap_err().contains("malformed tag"));
+    }
+
+    #[test]
+    fn apply_batch_preserves_request_order_and_tags() {
+        let svc = KvService::with_shards(4, 64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        let batch: Vec<Parsed> = [
+            "#1 PUT 10 100",
+            "#2 GET 10",    // same-key read after write, same batch
+            "GET 10",       // untagged mid-stream
+            "#3 BOGUS",     // parse error renders at its position
+            "#4 SCAN 10 2", // aggregate splits the data run
+            "#5 MSET 11 110 12 120",
+            "#6 MGET 10 11 99",
+            "#7 PING",
+        ]
+        .iter()
+        .map(|l| Parsed::from_line(l))
+        .collect();
+        let mut out = String::new();
+        svc.apply_batch(&batch, &crew, &mut out);
+        assert_eq!(
+            out,
+            "#1 OK\n\
+             #2 VAL 100\n\
+             VAL 100\n\
+             #3 ERR unknown verb BOGUS\n\
+             #4 RANGE 10=100\n\
+             #5 OK 2\n\
+             #6 VALS 100 110 -\n\
+             #7 PONG\n"
+        );
+        crew.shutdown();
+    }
+
+    #[test]
+    fn apply_batch_amortizes_write_admission_per_shard() {
+        // 32 puts on one shard in one batch: exactly one exclusive
+        // DB-lock acquisition — the admission amortization the whole
+        // pipelined protocol exists for.
+        let svc = KvService::with_shards(1, 1_024, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        let before = svc.store().stats().per_shard[0].db_lock.write_episodes;
+        let lines: Vec<String> = (0..32u64).map(|k| format!("#{k} PUT {k} {k}")).collect();
+        let batch: Vec<Parsed> = lines.iter().map(|l| Parsed::from_line(l)).collect();
+        let mut out = String::new();
+        svc.apply_batch(&batch, &crew, &mut out);
+        let after = svc.store().stats().per_shard[0].db_lock.write_episodes;
+        assert_eq!(after - before, 1, "one write episode for 32 puts");
+        assert_eq!(out.lines().count(), 32);
+        for (k, l) in out.lines().enumerate() {
+            assert_eq!(l, format!("#{k} OK"));
+        }
+        crew.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_pipeline_fields_before_shards() {
+        let svc = KvService::with_shards(2, 64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        let stats = svc.apply(Request::Stats, &crew);
+        assert!(
+            stats.contains("pbatches=0 pbatchmax=0 pbatch_p50=0 pbatch_p99=0"),
+            "{stats}"
+        );
+        assert!(stats.ends_with("shards=2"), "{stats}");
+        crew.shutdown();
     }
 
     #[test]
@@ -691,8 +1167,9 @@ mod tests {
         server.join().unwrap();
         drop(c2);
         let stats = crew.shutdown();
-        // PING + PUT + 2 GETs + STATS + 400 closed-loop ops; BOGUS and
-        // SHUTDOWN never reach the crew.
+        // PING + PUT + 2 GETs + STATS + 400 closed-loop ops, each its
+        // own single-request batch (SHUTDOWN never reaches the crew;
+        // the ERR lines ride batch tasks too).
         assert!(stats.completed >= 405, "completed = {}", stats.completed);
     }
 }

@@ -40,6 +40,8 @@ pub use buffer_pool::{BufferPool, PoolBuffer, SemBufferPool};
 pub use kccache::KcCacheDb;
 pub use minikv::MiniKv;
 pub use router::{ShardRouter, FIB_HASH_MULT};
-pub use sharded::{hottest_share, ShardSnapshot, ShardedKv, ShardedKvStats, MAX_SCAN_LIMIT};
+pub use sharded::{
+    hottest_share, BatchOp, BatchReply, ShardSnapshot, ShardedKv, ShardedKvStats, MAX_SCAN_LIMIT,
+};
 pub use simplelru::{LruStats, SimpleLru};
 pub use splay::SplayArena;

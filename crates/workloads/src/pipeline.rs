@@ -1,0 +1,363 @@
+//! Live pipelined-KV traffic over real loopback TCP (the workload
+//! behind `bench_pipeline`).
+//!
+//! The pipelined protocol's claim is *amortized admission*: a
+//! connection that keeps `depth` tagged requests in flight lets the
+//! server drain a whole burst per reader wakeup, execute each shard's
+//! slice of the batch under **one** DB-lock acquisition, and flush
+//! every response in one write — so the closed loop is priced by the
+//! store, not by per-request round trips and scheduler handoffs.
+//! This module measures that end to end: it boots a real
+//! [`kv::serve`] loop on an ephemeral loopback port, drives it with
+//! `conns` windowed client threads (depth 1 = the classic untagged
+//! closed loop), and reports throughput *plus the admission
+//! evidence* — drained-batch statistics from the server's
+//! [`PipelineStats`](malthus_pool::PipelineStats) and the interval's
+//! exclusive DB-lock episodes against the interval's writes, so
+//! "fewer exclusive acquisitions per op at depth > 1" is a number,
+//! not a story.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use malthus_park::XorShift64;
+use malthus_pool::kv::{self, KvService};
+use malthus_pool::{KvClient, PoolConfig, WorkCrew};
+
+/// Per-shard memtable limit for the workload store: large enough that
+/// run freezes are rare during a cell, so the measured exclusive
+/// episodes are request-driven.
+const MEMTABLE_LIMIT: usize = 4_096;
+/// Per-shard block-cache capacity.
+const CACHE_BLOCKS: usize = 4_096;
+
+/// Geometry of one pipelined-traffic run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineShape {
+    /// Key-space size.
+    pub keys: u64,
+    /// Percentage of operations that are PUTs (0–100); the rest are
+    /// GETs over a prefilled key space.
+    pub put_pct: u32,
+    /// Requests each connection keeps in flight (1 = untagged closed
+    /// loop, byte-identical to the pre-pipelining protocol).
+    pub depth: usize,
+}
+
+impl PipelineShape {
+    /// A shape over `keys` keys with the given PUT percentage and
+    /// pipeline depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` or `depth` is zero, or `put_pct` exceeds 100.
+    pub fn new(keys: u64, put_pct: u32, depth: usize) -> Self {
+        assert!(keys > 0, "empty key space");
+        assert!(put_pct <= 100, "fraction is a percentage");
+        assert!(depth > 0, "the window must admit at least one request");
+        PipelineShape {
+            keys,
+            put_pct,
+            depth,
+        }
+    }
+}
+
+/// Aggregate result of one [`run_pipeline_loop`] interval.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Completed GETs (client-side, successful responses).
+    pub reads: u64,
+    /// Completed PUTs.
+    pub writes: u64,
+    /// `ERR` responses plus transport failures.
+    pub errors: u64,
+    /// Measured interval: `max(worker stop) − min(worker start)`,
+    /// stamped inside the client threads (oversubscribed-host
+    /// reasoning as everywhere else in the harness).
+    pub elapsed_secs: f64,
+    /// Batches the server drained during the interval.
+    pub batches: u64,
+    /// Largest single drained batch.
+    pub max_batch: u64,
+    /// PUTs the store accepted during the interval (server-side).
+    pub server_writes: u64,
+    /// Exclusive DB-lock episodes during the interval, summed across
+    /// shards — the writer-admission count pipelining amortizes.
+    pub exclusive_episodes: u64,
+}
+
+impl PipelineReport {
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean requests per drained batch (1.0 at depth 1; growth above
+    /// it is the amortization working).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.ops() as f64 / self.batches as f64
+    }
+
+    /// Exclusive DB-lock acquisitions per server-side write: 1.0 when
+    /// every PUT pays its own admission (depth 1), below it when
+    /// batches execute several writes per hold.
+    pub fn exclusive_per_write(&self) -> f64 {
+        if self.server_writes == 0 {
+            return 0.0;
+        }
+        self.exclusive_episodes as f64 / self.server_writes as f64
+    }
+}
+
+/// Connects with brief retries (the server thread may still be
+/// between `bind` and `accept` on a loaded host).
+fn connect_with_retry(addr: SocketAddr) -> KvClient {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match KvClient::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    panic!("could not connect to {addr}: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Boots a fresh server (`shards` shards, crew ACS sized as
+/// `kv_server` sizes it) on an ephemeral loopback port, drives it
+/// with `conns` client threads at `shape.depth` for `seconds`, and
+/// tears everything down. Deterministic key streams per `seed`.
+pub fn run_pipeline_loop(
+    shards: usize,
+    conns: usize,
+    seconds: f64,
+    shape: PipelineShape,
+    seed: u64,
+) -> PipelineReport {
+    let (listener, control) = kv::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = control.addr();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = (2 * conns).max(4);
+    let acs = workers.min(cpus).min(shards).max(1);
+    let crew = Arc::new(WorkCrew::new(
+        PoolConfig::malthusian(workers, 256).with_acs_target(acs),
+    ));
+    let service = Arc::new(KvService::with_shards(shards, MEMTABLE_LIMIT, CACHE_BLOCKS));
+    // Prefill so the GET side of the mix can hit.
+    for k in 0..shape.keys {
+        service.put(k, k);
+    }
+    // One snapshot serves both baselines (episodes and writes): the
+    // store is quiescent here, so the pair is exact and consistent.
+    let before = service.store().stats();
+    let episodes_before: u64 = before
+        .per_shard
+        .iter()
+        .map(|s| s.db_lock.write_episodes)
+        .sum();
+    let writes_before = before.writes();
+
+    let server = {
+        let crew = Arc::clone(&crew);
+        let service = Arc::clone(&service);
+        let control = control.clone();
+        std::thread::spawn(move || kv::serve(listener, &control, crew, service))
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..conns)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            let writes = Arc::clone(&writes);
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || {
+                let mut client = connect_with_retry(addr);
+                let rng = XorShift64::new(seed ^ (0x71BE_1100 + c as u64));
+                let mut req = String::new();
+                let (mut r, mut w, mut e) = (0u64, 0u64, 0u64);
+                let build = |req: &mut String| -> bool {
+                    let key = rng.next_below(shape.keys);
+                    req.clear();
+                    use std::fmt::Write as _;
+                    if rng.next_below(100) < shape.put_pct as u64 {
+                        let _ = write!(req, "PUT {key} {}", key.wrapping_mul(31));
+                        true
+                    } else {
+                        let _ = write!(req, "GET {key}");
+                        false
+                    }
+                };
+                let started = Instant::now();
+                if shape.depth == 1 {
+                    while !stop.load(Ordering::Relaxed) {
+                        let is_put = build(&mut req);
+                        match client.roundtrip(&req) {
+                            Ok(resp) if resp.starts_with("ERR") => e += 1,
+                            Ok(_) => {
+                                if is_put {
+                                    w += 1;
+                                } else {
+                                    r += 1;
+                                }
+                            }
+                            Err(_) => {
+                                e += 1;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    let mut outstanding: VecDeque<(u64, bool)> =
+                        VecDeque::with_capacity(shape.depth);
+                    let mut seq = 0u64;
+                    'window: while !stop.load(Ordering::Relaxed) {
+                        while outstanding.len() < shape.depth {
+                            let is_put = build(&mut req);
+                            if client.send_tagged(seq, &req).is_err() {
+                                e += 1;
+                                break 'window;
+                            }
+                            outstanding.push_back((seq, is_put));
+                            seq += 1;
+                        }
+                        let (exp, is_put) = outstanding.pop_front().expect("window just filled");
+                        match client.recv_tagged() {
+                            Ok((tag, resp)) => {
+                                assert_eq!(tag, exp, "pipeline tag mismatch");
+                                if resp.starts_with("ERR") {
+                                    e += 1;
+                                } else if is_put {
+                                    w += 1;
+                                } else {
+                                    r += 1;
+                                }
+                            }
+                            Err(_) => {
+                                e += 1;
+                                break 'window;
+                            }
+                        }
+                    }
+                    // Drain the window so every sent request lands in
+                    // exactly one counter.
+                    while let Some((exp, is_put)) = outstanding.pop_front() {
+                        match client.recv_tagged() {
+                            Ok((tag, resp)) => {
+                                assert_eq!(tag, exp, "pipeline tag mismatch");
+                                if resp.starts_with("ERR") {
+                                    e += 1;
+                                } else if is_put {
+                                    w += 1;
+                                } else {
+                                    r += 1;
+                                }
+                            }
+                            Err(_) => {
+                                e += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                let stopped = Instant::now();
+                reads.fetch_add(r, Ordering::Relaxed);
+                writes.fetch_add(w, Ordering::Relaxed);
+                errors.fetch_add(e, Ordering::Relaxed);
+                (started, stopped)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let stamps: Vec<(Instant, Instant)> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let elapsed_secs = match (
+        stamps.iter().map(|s| s.0).min(),
+        stamps.iter().map(|s| s.1).max(),
+    ) {
+        (Some(first), Some(last)) => last.duration_since(first).as_secs_f64(),
+        _ => 0.0,
+    };
+
+    control.stop();
+    server.join().expect("server thread").expect("serve loop");
+    let after = service.store().stats();
+    let episodes_after: u64 = after
+        .per_shard
+        .iter()
+        .map(|s| s.db_lock.write_episodes)
+        .sum();
+    let writes_after = after.writes();
+    let p = service.pipeline_stats();
+    let report = PipelineReport {
+        reads: reads.load(Ordering::SeqCst),
+        writes: writes.load(Ordering::SeqCst),
+        errors: errors.load(Ordering::SeqCst),
+        elapsed_secs,
+        batches: p.batches(),
+        max_batch: p.max_batch(),
+        server_writes: writes_after.saturating_sub(writes_before),
+        exclusive_episodes: episodes_after.saturating_sub(episodes_before),
+    };
+    crew.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_one_is_the_classic_closed_loop() {
+        let report = run_pipeline_loop(2, 2, 0.2, PipelineShape::new(1_000, 20, 1), 7);
+        assert!(report.ops() > 0);
+        assert_eq!(report.errors, 0);
+        assert!(report.elapsed_secs >= 0.15, "{}", report.elapsed_secs);
+        // Depth 1 cannot batch: every wakeup drains exactly one
+        // request.
+        assert_eq!(report.max_batch, 1);
+        assert_eq!(report.batches, report.ops());
+        // Every server-side PUT paid its own admission.
+        assert_eq!(report.exclusive_episodes, report.server_writes);
+    }
+
+    #[test]
+    fn deep_window_batches_and_amortizes() {
+        let report = run_pipeline_loop(2, 2, 0.3, PipelineShape::new(1_000, 20, 8), 11);
+        assert!(report.ops() > 0);
+        assert_eq!(report.errors, 0);
+        assert!(report.batches > 0);
+        assert!(report.max_batch >= 1);
+        // Batching can never *increase* admissions: each batched
+        // exclusive hold covers >= 1 write (equality when every batch
+        // happened to carry at most one write).
+        assert!(
+            report.exclusive_episodes <= report.server_writes,
+            "episodes {} > writes {}",
+            report.exclusive_episodes,
+            report.server_writes
+        );
+        // Server-side writes match the client's view once quiescent.
+        assert_eq!(report.server_writes, report.writes);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must admit")]
+    fn zero_depth_panics() {
+        PipelineShape::new(10, 0, 0);
+    }
+}
