@@ -56,7 +56,7 @@ fn measure_cell(
     let kv = Arc::new(ShardedKv::new(shards, MEMTABLE_LIMIT, CACHE_BLOCKS));
     // Prefill so the GET side of the mix can hit.
     for k in 0..shape.keys {
-        kv.put(k, k);
+        kv.put(k, k).expect("memory-only store cannot go read-only");
     }
     let report = run_sharded_loop(
         Arc::clone(&kv),

@@ -28,8 +28,10 @@
 //! Environment knobs:
 //!
 //! * `MALTHUS_KV_ADDR` — server address (default `127.0.0.1:7878`).
-//!   Connection attempts retry for a few seconds so the generator can
-//!   be started alongside the server in scripts.
+//! * `MALTHUS_KV_CONNECT_TRIES` — connect attempts with capped
+//!   exponential backoff between them (default 3; 10 ms doubling to
+//!   a 40 ms cap), so the generator can be started alongside the
+//!   server in scripts.
 //! * `MALTHUS_KV_CONNS` — concurrent connections (default 4).
 //! * `MALTHUS_KV_SECONDS` — measurement interval (default 2).
 //! * `MALTHUS_KV_KEYS` — key-space size (default 10000).
@@ -93,18 +95,15 @@ fn parse_pipeline_depth() -> u64 {
     depth
 }
 
+/// Connects with capped exponential backoff
+/// ([`KvClient::connect_with_backoff`]): `MALTHUS_KV_CONNECT_TRIES`
+/// attempts (default 3, 10 ms doubling to a 40 ms cap between them),
+/// so the generator can be started alongside the server in scripts —
+/// CI sets the knob high to ride out slow server boots.
 fn connect_with_retry(addr: SocketAddr) -> KvClient {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match KvClient::connect(addr) {
-            Ok(c) => return c,
-            Err(e) if Instant::now() < deadline => {
-                eprintln!("# kv_load: connect failed ({e}), retrying");
-                std::thread::sleep(Duration::from_millis(200));
-            }
-            Err(e) => panic!("could not connect to {addr}: {e}"),
-        }
-    }
+    let tries = env_u64("MALTHUS_KV_CONNECT_TRIES", 3) as u32;
+    KvClient::connect_with_backoff(addr, tries)
+        .unwrap_or_else(|e| panic!("could not connect to {addr} after {tries} tries: {e}"))
 }
 
 /// One op type's histogram + its label, so reporting stays uniform as

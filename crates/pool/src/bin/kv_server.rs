@@ -18,6 +18,16 @@
 //!   256).
 //! * `--unrestricted` / `MALTHUS_KV_UNRESTRICTED=1` — disable
 //!   concurrency restriction (for A/B runs).
+//! * `--data-dir <path>` / `MALTHUS_KV_DATA_DIR` — durability root:
+//!   per-shard group-committed WALs, replayed (and reported) at boot.
+//!   Without it the store is memory-only.
+//! * `--no-wal` / `MALTHUS_KV_NO_WAL=1` — ignore any data-dir
+//!   setting and run memory-only (overrides `--data-dir` and
+//!   `MALTHUS_KV_DATA_DIR`).
+//! * `--read-timeout-secs <n>` / `MALTHUS_KV_READ_TIMEOUT_SECS` —
+//!   per-connection idle read timeout (default off); timed-out
+//!   connections are dropped and counted in `STATS
+//!   idle_disconnects=`.
 //!
 //! With restriction on, the crew's ACS target is
 //! `min(workers, cpus, shards)`: one hot lock pair deserves one
@@ -31,8 +41,9 @@
 //! the measure-and-adapt ACS the ROADMAP plans is the real fix.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use malthus_pool::kv::{self, KvService, DEFAULT_ADDR, DEFAULT_SHARDS};
+use malthus_pool::kv::{self, KvService, ServeOptions, DEFAULT_ADDR, DEFAULT_SHARDS};
 use malthus_pool::kv::{DEFAULT_CACHE_BLOCKS, DEFAULT_MEMTABLE_LIMIT};
 use malthus_pool::{PoolConfig, WorkCrew};
 
@@ -50,12 +61,16 @@ struct Options {
     workers: usize,
     queue: usize,
     unrestricted: bool,
+    data_dir: Option<String>,
+    no_wal: bool,
+    read_timeout_secs: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: kv_server [--addr <host:port>] [--shards <n>] [--workers <n>] \
-         [--queue <n>] [--unrestricted]"
+         [--queue <n>] [--unrestricted] [--data-dir <path>] [--no-wal] \
+         [--read-timeout-secs <n>]"
     );
     std::process::exit(2);
 }
@@ -67,6 +82,15 @@ fn parse_args(cpus: usize) -> Options {
         workers: env_usize("MALTHUS_KV_WORKERS", 4 * cpus),
         queue: env_usize("MALTHUS_KV_QUEUE", 256),
         unrestricted: std::env::var("MALTHUS_KV_UNRESTRICTED").is_ok_and(|v| v == "1"),
+        data_dir: std::env::var("MALTHUS_KV_DATA_DIR")
+            .ok()
+            .filter(|d| !d.is_empty()),
+        no_wal: std::env::var("MALTHUS_KV_NO_WAL").is_ok_and(|v| v == "1"),
+        // 0 (or absent) means "no idle timeout".
+        read_timeout_secs: std::env::var("MALTHUS_KV_READ_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,8 +110,17 @@ fn parse_args(cpus: usize) -> Options {
             "--workers" => opts.workers = positive("--workers"),
             "--queue" => opts.queue = positive("--queue"),
             "--unrestricted" => opts.unrestricted = true,
+            "--data-dir" => match args.next() {
+                Some(d) => opts.data_dir = Some(d),
+                None => usage(),
+            },
+            "--no-wal" => opts.no_wal = true,
+            "--read-timeout-secs" => opts.read_timeout_secs = positive("--read-timeout-secs"),
             _ => usage(),
         }
+    }
+    if opts.no_wal {
+        opts.data_dir = None;
     }
     opts
 }
@@ -109,17 +142,62 @@ fn main() {
         opts.shards, opts.workers, cfg.acs_target, opts.queue
     );
 
+    let service = match &opts.data_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let (service, report) = KvService::open(
+                dir,
+                opts.shards,
+                DEFAULT_MEMTABLE_LIMIT,
+                DEFAULT_CACHE_BLOCKS,
+            )
+            .expect("open data dir");
+            // The recovery banner: what the WALs gave back.
+            eprintln!(
+                "# kv_server: recovered {} pairs in {} records from {} \
+                 (torn_tails={} bad_records={} checkpointed={})",
+                report.pairs(),
+                report.records(),
+                dir.display(),
+                report.torn_tails(),
+                report.bad_records(),
+                report.checkpointed(),
+            );
+            if report.bad_records() > 0 {
+                eprintln!(
+                    "# kv_server: WARNING: {} corrupt WAL record(s) — data \
+                     past the first bad record was discarded",
+                    report.bad_records()
+                );
+            }
+            Arc::new(service)
+        }
+        None => {
+            eprintln!("# kv_server: memory-only (no --data-dir): writes do not survive restart");
+            Arc::new(KvService::with_shards(
+                opts.shards,
+                DEFAULT_MEMTABLE_LIMIT,
+                DEFAULT_CACHE_BLOCKS,
+            ))
+        }
+    };
+
     let (listener, control) = kv::bind(&opts.addr).expect("bind listen address");
     println!("listening on {}", control.addr());
 
+    let serve_opts = ServeOptions {
+        read_timeout: (opts.read_timeout_secs > 0)
+            .then(|| Duration::from_secs(opts.read_timeout_secs as u64)),
+    };
     let crew = Arc::new(WorkCrew::new(cfg));
-    let service = Arc::new(KvService::with_shards(
-        opts.shards,
-        DEFAULT_MEMTABLE_LIMIT,
-        DEFAULT_CACHE_BLOCKS,
-    ));
-    kv::serve(listener, &control, Arc::clone(&crew), Arc::clone(&service))
-        .expect("accept loop failed");
+    kv::serve_with(
+        listener,
+        &control,
+        Arc::clone(&crew),
+        Arc::clone(&service),
+        serve_opts,
+    )
+    .expect("accept loop failed");
 
     let stats = crew.shutdown();
     eprintln!(
@@ -127,21 +205,31 @@ fn main() {
         stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
     );
     // How much per-wakeup batching the pipelined connections achieved
-    // (batch = the lock-admission and write-flush unit).
+    // (batch = the lock-admission, fsync and write-flush unit).
     let p = service.pipeline_stats();
     let (bp50, bp99) = p.batch_quantiles();
     eprintln!(
-        "# kv_server: pipeline batches={} max_batch={} batch_p50={bp50} batch_p99={bp99}",
+        "# kv_server: pipeline batches={} max_batch={} batch_p50={bp50} batch_p99={bp99} \
+         idle_disconnects={}",
         p.batches(),
         p.max_batch(),
+        service.idle_disconnects(),
     );
     // Per-shard exit report: how evenly the traffic spread and what
-    // each shard's admission machinery did.
+    // each shard's admission (and durability) machinery did.
     for (i, s) in service.store().stats().per_shard.iter().enumerate() {
         eprintln!(
             "# kv_server: shard {i}: reads={} writes={} keys={} runs={} \
-             rculls={} wepisodes={}",
-            s.reads, s.writes, s.keys, s.runs, s.db_lock.reader_culls, s.db_lock.write_episodes
+             rculls={} wepisodes={} wal_syncs={} wal_errors={}{}",
+            s.reads,
+            s.writes,
+            s.keys,
+            s.runs,
+            s.db_lock.reader_culls,
+            s.db_lock.write_episodes,
+            s.wal_syncs,
+            s.wal_errors,
+            if s.readonly { " READONLY" } else { "" },
         );
     }
 }

@@ -54,4 +54,4 @@ mod crew;
 pub mod kv;
 
 pub use crew::{PoolConfig, PoolStats, SubmitError, Task, WorkCrew, DEFAULT_STALL_THRESHOLD};
-pub use kv::{KvClient, KvService, Parsed, PipelineStats, Request, ServerControl};
+pub use kv::{KvClient, KvService, Parsed, PipelineStats, Request, ServeOptions, ServerControl};

@@ -16,13 +16,16 @@
 //! | [`BoundedQueue`] | COZ `producer_consumer` queue | prodcons |
 //! | [`BufferPool`] | the §6.11 blocking buffer pool | bufferpool |
 //!
-//! On top of the substrates, the crate ships one genuinely new layer:
-//! [`ShardedKv`], a sharded KV backend where each shard is a
+//! On top of the substrates, the crate ships two genuinely new
+//! layers: [`ShardedKv`], a sharded KV backend where each shard is a
 //! [`MiniKv`] + [`SimpleLru`] behind its **own** Malthusian
 //! `RwCrMutex`/`McsCrMutex` pair with fixed fibonacci-hash routing
 //! ([`ShardRouter`]) — N independent admission-restricted locks
-//! instead of §6.5's single hot pair. See the [`sharded`] module docs
-//! for the cross-shard snapshot-consistency contract.
+//! instead of §6.5's single hot pair (see the [`sharded`] module docs
+//! for the cross-shard snapshot-consistency contract) — and a
+//! durability tier ([`wal`]): per-shard group-committed write-ahead
+//! logs where a batch's per-shard write group costs **one** fsync
+//! under the same exclusive hold that amortizes writer admission.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ mod router;
 pub mod sharded;
 mod simplelru;
 mod splay;
+pub mod wal;
 
 pub use bounded_queue::BoundedQueue;
 pub use buffer_pool::{BufferPool, PoolBuffer, SemBufferPool};
@@ -41,7 +45,12 @@ pub use kccache::KcCacheDb;
 pub use minikv::MiniKv;
 pub use router::{ShardRouter, FIB_HASH_MULT};
 pub use sharded::{
-    hottest_share, BatchOp, BatchReply, ShardSnapshot, ShardedKv, ShardedKvStats, MAX_SCAN_LIMIT,
+    hottest_share, BatchOp, BatchReply, ShardSnapshot, ShardState, ShardedKv, ShardedKvStats,
+    WriteError, MAX_SCAN_LIMIT,
 };
 pub use simplelru::{LruStats, SimpleLru};
 pub use splay::SplayArena;
+pub use wal::{
+    crc32, FaultPlan, FaultyWalIo, FileWalIo, RecoveryReport, ShardRecovery, ShardWal, WalIo,
+    WalOptions, DEFAULT_CHECKPOINT_BYTES,
+};

@@ -19,6 +19,7 @@
 
 use std::collections::VecDeque;
 use std::net::SocketAddr;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,6 +89,10 @@ pub struct PipelineReport {
     /// Exclusive DB-lock episodes during the interval, summed across
     /// shards — the writer-admission count pipelining amortizes.
     pub exclusive_episodes: u64,
+    /// WAL fsyncs during the interval, summed across shards (0 for a
+    /// memory-only run). Group commit rides the same batching as
+    /// writer admission: one fsync per per-shard write group.
+    pub wal_syncs: u64,
 }
 
 impl PipelineReport {
@@ -114,29 +119,34 @@ impl PipelineReport {
         }
         self.exclusive_episodes as f64 / self.server_writes as f64
     }
-}
 
-/// Connects with brief retries (the server thread may still be
-/// between `bind` and `accept` on a loaded host).
-fn connect_with_retry(addr: SocketAddr) -> KvClient {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match KvClient::connect(addr) {
-            Ok(c) => return c,
-            Err(e) => {
-                if Instant::now() >= deadline {
-                    panic!("could not connect to {addr}: {e}");
-                }
-                std::thread::sleep(Duration::from_millis(50));
-            }
+    /// WAL fsyncs per server-side write — the durability analogue of
+    /// [`PipelineReport::exclusive_per_write`]: 1.0 when every PUT
+    /// pays its own fsync (depth 1), well below it when group commit
+    /// syncs a whole per-shard write group at once. 0.0 for a
+    /// memory-only run.
+    pub fn fsyncs_per_write(&self) -> f64 {
+        if self.server_writes == 0 {
+            return 0.0;
         }
+        self.wal_syncs as f64 / self.server_writes as f64
     }
 }
 
-/// Boots a fresh server (`shards` shards, crew ACS sized as
-/// `kv_server` sizes it) on an ephemeral loopback port, drives it
-/// with `conns` client threads at `shape.depth` for `seconds`, and
-/// tears everything down. Deterministic key streams per `seed`.
+/// Connects with capped exponential backoff (the server thread may
+/// still be between `bind` and `accept` on a loaded host, so this
+/// uses a much longer schedule than a CLI client's default 3 tries).
+fn connect_with_retry(addr: SocketAddr) -> KvClient {
+    const TRIES: u32 = 10;
+    KvClient::connect_with_backoff(addr, TRIES)
+        .unwrap_or_else(|e| panic!("could not connect to {addr} after {TRIES} tries: {e}"))
+}
+
+/// Boots a fresh **memory-only** server (`shards` shards, crew ACS
+/// sized as `kv_server` sizes it) on an ephemeral loopback port,
+/// drives it with `conns` client threads at `shape.depth` for
+/// `seconds`, and tears everything down. Deterministic key streams
+/// per `seed`.
 pub fn run_pipeline_loop(
     shards: usize,
     conns: usize,
@@ -144,6 +154,52 @@ pub fn run_pipeline_loop(
     shape: PipelineShape,
     seed: u64,
 ) -> PipelineReport {
+    let service = Arc::new(KvService::with_shards(shards, MEMTABLE_LIMIT, CACHE_BLOCKS));
+    run_pipeline_on(service, conns, seconds, shape, seed)
+}
+
+/// [`run_pipeline_loop`] against a **durable** store rooted at `dir`:
+/// every PUT is group-committed to the per-shard WALs before it is
+/// acknowledged, so the report's [`PipelineReport::wal_syncs`] (and
+/// [`PipelineReport::fsyncs_per_write`]) measure how much of the
+/// fsync cost the pipelined batching amortized away. The prefill is
+/// WAL-committed too (in large MSET chunks, so it costs a handful of
+/// fsyncs, not `keys` of them) and is excluded from the interval
+/// deltas.
+///
+/// # Errors
+///
+/// Propagates the store-open failure (unusable directory, shard-count
+/// mismatch with an existing manifest).
+pub fn run_pipeline_loop_durable(
+    dir: &Path,
+    shards: usize,
+    conns: usize,
+    seconds: f64,
+    shape: PipelineShape,
+    seed: u64,
+) -> std::io::Result<PipelineReport> {
+    let (service, _report) = KvService::open(dir, shards, MEMTABLE_LIMIT, CACHE_BLOCKS)?;
+    Ok(run_pipeline_on(
+        Arc::new(service),
+        conns,
+        seconds,
+        shape,
+        seed,
+    ))
+}
+
+/// The shared measurement core: boots the serve loop over an
+/// already-built service, runs the windowed client threads, and
+/// reports interval deltas (admission episodes, writes, WAL fsyncs).
+fn run_pipeline_on(
+    service: Arc<KvService>,
+    conns: usize,
+    seconds: f64,
+    shape: PipelineShape,
+    seed: u64,
+) -> PipelineReport {
+    let shards = service.store().shard_count();
     let (listener, control) = kv::bind("127.0.0.1:0").expect("bind loopback");
     let addr = control.addr();
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -152,13 +208,24 @@ pub fn run_pipeline_loop(
     let crew = Arc::new(WorkCrew::new(
         PoolConfig::malthusian(workers, 256).with_acs_target(acs),
     ));
-    let service = Arc::new(KvService::with_shards(shards, MEMTABLE_LIMIT, CACHE_BLOCKS));
-    // Prefill so the GET side of the mix can hit.
-    for k in 0..shape.keys {
-        service.put(k, k);
+    // Prefill so the GET side of the mix can hit. Chunked MSETs keep
+    // this cheap on a durable store: one group commit per chunk per
+    // shard instead of one fsync per key.
+    const PREFILL_CHUNK: u64 = 4_096;
+    let mut k = 0;
+    while k < shape.keys {
+        let chunk: Vec<(u64, u64)> = (k..(k + PREFILL_CHUNK).min(shape.keys))
+            .map(|k| (k, k))
+            .collect();
+        service
+            .store()
+            .mset(&chunk)
+            .expect("prefill on a fresh store");
+        k += PREFILL_CHUNK;
     }
-    // One snapshot serves both baselines (episodes and writes): the
-    // store is quiescent here, so the pair is exact and consistent.
+    // One snapshot serves all baselines (episodes, writes, fsyncs):
+    // the store is quiescent here, so the tuple is exact and
+    // consistent.
     let before = service.store().stats();
     let episodes_before: u64 = before
         .per_shard
@@ -166,6 +233,7 @@ pub fn run_pipeline_loop(
         .map(|s| s.db_lock.write_episodes)
         .sum();
     let writes_before = before.writes();
+    let wal_syncs_before = before.wal_syncs();
 
     let server = {
         let crew = Arc::clone(&crew);
@@ -312,6 +380,7 @@ pub fn run_pipeline_loop(
         max_batch: p.max_batch(),
         server_writes: writes_after.saturating_sub(writes_before),
         exclusive_episodes: episodes_after.saturating_sub(episodes_before),
+        wal_syncs: after.wal_syncs().saturating_sub(wal_syncs_before),
     };
     crew.shutdown();
     report
@@ -353,6 +422,37 @@ mod tests {
         );
         // Server-side writes match the client's view once quiescent.
         assert_eq!(report.server_writes, report.writes);
+    }
+
+    #[test]
+    fn memory_run_reports_zero_fsyncs() {
+        let report = run_pipeline_loop(1, 1, 0.2, PipelineShape::new(200, 50, 4), 3);
+        assert!(report.ops() > 0);
+        assert_eq!(report.wal_syncs, 0);
+        assert_eq!(report.fsyncs_per_write(), 0.0);
+    }
+
+    #[test]
+    fn durable_run_group_commits_fsyncs() {
+        let dir =
+            std::env::temp_dir().join(format!("malthus-pipeline-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report =
+            run_pipeline_loop_durable(&dir, 1, 2, 0.3, PipelineShape::new(500, 100, 16), 13)
+                .unwrap();
+        assert!(report.ops() > 0);
+        assert_eq!(report.errors, 0);
+        // Every acked PUT was covered by some group commit...
+        assert!(report.wal_syncs > 0);
+        // ...and a group commit covers at least one write, so syncs
+        // can never exceed writes (amortization pushes them below).
+        assert!(
+            report.wal_syncs <= report.server_writes,
+            "syncs {} > writes {}",
+            report.wal_syncs,
+            report.server_writes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

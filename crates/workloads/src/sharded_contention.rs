@@ -140,7 +140,8 @@ pub fn run_sharded_loop(
             while !stop.load(Ordering::Relaxed) {
                 let key = skewed_key(&rng, shape.keys, shape.skew_exponent);
                 if rng.next_below(100) < shape.put_pct as u64 {
-                    kv.put(key, key.wrapping_mul(31));
+                    kv.put(key, key.wrapping_mul(31))
+                        .expect("memory-only store cannot go read-only");
                     w += 1;
                 } else {
                     if kv.get(key).is_some() {
@@ -276,7 +277,7 @@ mod tests {
         let kv = Arc::new(ShardedKv::new(2, 256, 256));
         // Prefill so GETs can hit.
         for k in 0..1_000u64 {
-            kv.put(k, 1);
+            kv.put(k, 1).unwrap();
         }
         let report = run_sharded_loop(
             Arc::clone(&kv),

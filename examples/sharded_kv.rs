@@ -27,7 +27,8 @@ fn main() {
     // Batched writes land on every shard; batched reads come back in
     // key order with `-`-style misses as None.
     let pairs: Vec<(u64, u64)> = (0..64u64).map(|k| (k, k * 10)).collect();
-    kv.mset(&pairs);
+    kv.mset(&pairs)
+        .expect("memory-only store cannot go read-only");
     let got = kv.mget(&[3, 500, 31]);
     println!("# MGET 3 500 31 -> {got:?}");
     assert_eq!(got, vec![Some(30), None, Some(310)]);

@@ -73,7 +73,7 @@ fn router_distribution_is_balanced_under_uniform_keys() {
 fn mget_mset_round_trip_across_shards() {
     let kv = ShardedKv::new(4, 64, 256);
     let pairs: Vec<(u64, u64)> = (0..200u64).map(|k| (k * 7, k * 7 + 1)).collect();
-    assert_eq!(kv.mset(&pairs), 200);
+    assert_eq!(kv.mset(&pairs).unwrap(), 200);
 
     // The batch must actually have crossed shards.
     let stats = kv.stats();
@@ -107,7 +107,7 @@ fn stats_while_writing_returns_a_coherent_sum() {
             let kv = Arc::clone(&kv);
             std::thread::spawn(move || {
                 for i in 0..per_writer {
-                    kv.put(t * 1_000_000 + i * 13, i);
+                    kv.put(t * 1_000_000 + i * 13, i).unwrap();
                 }
             })
         })
@@ -241,7 +241,7 @@ fn a_stuck_shard_does_not_block_the_others() {
 
         // Shard 0 is wedged; shards 1..4 must still serve.
         for (shard, &key) in keys.iter().enumerate().skip(1) {
-            kv.put(key, key + 7);
+            kv.put(key, key + 7).unwrap();
             assert_eq!(kv.get(key), Some(key + 7), "shard {shard} blocked");
         }
         // A cross-shard MGET that avoids shard 0 completes too.
