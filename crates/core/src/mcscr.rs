@@ -307,6 +307,12 @@ impl McsCrLock {
         }
     }
 
+    /// The flight-recorder identity of this lock instance: its
+    /// address, stable for the lock's lifetime.
+    fn id(&self) -> u64 {
+        self as *const Self as usize as u64
+    }
+
     /// Grants the lock to `node` by grafting it immediately after the
     /// owner `me`, inheriting the rest of the chain.
     ///
@@ -420,6 +426,7 @@ unsafe impl RawLock for McsCrLock {
             if !passive.is_empty() && (*self.cr.fairness.get()).fire() {
                 let eldest = passive.pop_tail();
                 self.cr.fairness_grants.bump();
+                malthus_obs::record(malthus_obs::EventKind::LockFairnessGrant, self.id(), 0);
                 self.graft_as_successor(me, eldest);
                 return;
             }
@@ -442,6 +449,7 @@ unsafe impl RawLock for McsCrLock {
                         .is_ok()
                     {
                         self.cr.reprovisions.bump();
+                        malthus_obs::record(malthus_obs::EventKind::LockReprovision, self.id(), 0);
                         (*warm).cell.signal();
                         free_node(me);
                         return;
@@ -476,9 +484,11 @@ unsafe impl RawLock for McsCrLock {
                 let next = wait_link(succ);
                 passive.push_head(succ);
                 self.cr.culls.bump();
+                malthus_obs::record(malthus_obs::EventKind::LockCull, self.id(), 0);
                 succ = next;
             }
 
+            malthus_obs::record(malthus_obs::EventKind::LockHandoff, self.id(), 0);
             (*succ).cell.signal();
             free_node(me);
         }

@@ -156,11 +156,147 @@ impl LatencyHistogram {
         // ahead of the bucket sum forever.
         self.count.fetch_add(total, Ordering::Relaxed);
     }
+
+    /// Copies the current bucket counts into an immutable
+    /// [`HistogramSnapshot`].
+    ///
+    /// The total is derived from the copied buckets (not the `count`
+    /// field), so a snapshot is always internally consistent even when
+    /// recording races with the copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS].into_boxed_slice();
+        let mut total = 0u64;
+        for (dst, src) in counts.iter_mut().zip(self.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            *dst = n;
+            total += n;
+        }
+        HistogramSnapshot { counts, total }
+    }
+
+    /// Bucket-wise difference `later - earlier` of two snapshots —
+    /// the observations recorded during the interval between them.
+    ///
+    /// Equivalent to [`HistogramSnapshot::delta`]; provided on the
+    /// histogram type so interval-rate consumers (`kvtop`) find it
+    /// next to [`LatencyHistogram::snapshot`].
+    pub fn snapshot_delta(
+        later: &HistogramSnapshot,
+        earlier: &HistogramSnapshot,
+    ) -> HistogramSnapshot {
+        later.delta(earlier)
+    }
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// An immutable point-in-time copy of a [`LatencyHistogram`].
+///
+/// Snapshots make two things possible that the live histogram cannot
+/// offer: a *consistent* read (quantile scans over the live atomics
+/// race with recorders) and *interval* statistics — two snapshots
+/// taken a poll apart, diffed with [`HistogramSnapshot::delta`], give
+/// the distribution of just that interval instead of the process
+/// lifetime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Box<[u64]>,
+    total: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot (what [`LatencyHistogram::snapshot`] of an
+    /// empty histogram returns).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0u64; BUCKETS].into_boxed_slice(),
+            total: 0,
+        }
+    }
+
+    /// Number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket-wise difference `self - earlier`.
+    ///
+    /// Buckets where `earlier` exceeds `self` (the source histogram
+    /// was replaced or wrapped between the two snapshots) saturate to
+    /// zero rather than underflowing, so a stale baseline degrades to
+    /// an undercount instead of garbage quantiles.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS].into_boxed_slice();
+        let mut total = 0u64;
+        for (i, dst) in counts.iter_mut().enumerate() {
+            let n = self.counts[i].saturating_sub(earlier.counts[i]);
+            *dst = n;
+            total += n;
+        }
+        HistogramSnapshot { counts, total }
+    }
+
+    /// The `q`-quantile of the snapshot, resolved to its bucket floor
+    /// (same contract as [`LatencyHistogram::quantile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0.0, 1.0]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_floor(i));
+            }
+        }
+        unreachable!("total is the exact bucket sum")
+    }
+
+    /// Convenience: `(p50, p99)` in one call.
+    pub fn p50_p99(&self) -> (Duration, Duration) {
+        (self.quantile(0.50), self.quantile(0.99))
+    }
+
+    /// Iterates the non-empty buckets as `(upper_bound_ns, count)`
+    /// pairs, in increasing bound order.
+    ///
+    /// The bound is the *exclusive* upper edge of the bucket (the next
+    /// bucket's floor), which is what a Prometheus `le` label wants to
+    /// within one bucket quantum. The final bucket reports
+    /// `u64::MAX`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let bound = if i + 1 < BUCKETS {
+                    bucket_floor(i + 1)
+                } else {
+                    u64::MAX
+                };
+                (bound, n)
+            })
+    }
+
+    /// Approximate sum of all observations in nanoseconds, computed
+    /// from bucket floors (so it underestimates by at most ~6%).
+    pub fn approx_sum_ns(&self) -> u64 {
+        let mut sum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            sum = sum.saturating_add(bucket_floor(i).saturating_mul(n));
+        }
+        sum
     }
 }
 
@@ -308,6 +444,86 @@ mod tests {
         // Max recorded value is 40_099 ns; allow the ~6% bucket-floor
         // quantization.
         assert!(total.quantile(1.0).as_nanos() >= 38_000);
+    }
+
+    #[test]
+    fn snapshot_matches_live_quantiles() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1_000u64 {
+            h.record_ns(us * 1_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1_000);
+        assert_eq!(snap.quantile(0.5), h.quantile(0.5));
+        assert_eq!(snap.p50_p99(), h.p50_p99());
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_the_interval() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_ns(1_000); // fast lifetime prefix
+        }
+        let before = h.snapshot();
+        for _ in 0..10 {
+            h.record_ns(1_000_000); // slow interval
+        }
+        let after = h.snapshot();
+        let interval = LatencyHistogram::snapshot_delta(&after, &before);
+        assert_eq!(interval.count(), 10);
+        // The interval median is the slow value, even though the
+        // lifetime median is still the fast one.
+        assert!(interval.quantile(0.5).as_nanos() >= 900_000);
+        assert!(after.quantile(0.5).as_nanos() < 2_000);
+    }
+
+    #[test]
+    fn snapshot_delta_of_empty_interval_is_empty() {
+        let h = LatencyHistogram::new();
+        h.record_ns(42);
+        let a = h.snapshot();
+        let b = h.snapshot();
+        let interval = b.delta(&a);
+        assert_eq!(interval.count(), 0);
+        assert_eq!(interval.quantile(0.99), Duration::ZERO);
+        assert_eq!(interval, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn snapshot_delta_saturates_on_wraparound() {
+        // A later snapshot from a *replaced* histogram (fewer counts
+        // than the baseline) must not underflow: the delta saturates
+        // to zero per bucket.
+        let old = LatencyHistogram::new();
+        for _ in 0..50 {
+            old.record_ns(500);
+        }
+        let baseline = old.snapshot();
+        let replaced = LatencyHistogram::new();
+        replaced.record_ns(500);
+        replaced.record_ns(9_999);
+        let interval = replaced.snapshot().delta(&baseline);
+        // The 500 ns bucket saturates (1 - 50 -> 0); the fresh 9_999 ns
+        // observation survives.
+        assert_eq!(interval.count(), 1);
+        assert!(interval.quantile(1.0).as_nanos() >= 9_000);
+    }
+
+    #[test]
+    fn snapshot_buckets_and_sum_are_consistent() {
+        let h = LatencyHistogram::new();
+        h.record_ns(10);
+        h.record_ns(10);
+        h.record_ns(1_000_000);
+        let snap = h.snapshot();
+        let buckets: Vec<(u64, u64)> = snap.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 2);
+        assert_eq!(buckets[1].1, 1);
+        // Bounds increase and exceed the recorded values' floors.
+        assert!(buckets[0].0 > 10 && buckets[1].0 > buckets[0].0);
+        let sum = snap.approx_sum_ns();
+        assert!((900_000..=1_000_100).contains(&sum), "sum = {sum}");
     }
 
     #[test]

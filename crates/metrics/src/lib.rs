@@ -42,7 +42,7 @@ mod summary;
 mod table;
 
 pub use gini::{gini_coefficient, relative_stddev};
-pub use latency::LatencyHistogram;
+pub use latency::{HistogramSnapshot, LatencyHistogram};
 pub use log::{AdmissionLog, DEFAULT_LWSS_WINDOW};
 pub use summary::FairnessSummary;
 pub use table::{format_table, Align, Column};

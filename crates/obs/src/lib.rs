@@ -1,0 +1,34 @@
+//! Observability substrate: a flight recorder and a metrics registry.
+//!
+//! Malthusian Locks (Dice, EuroSys 2017) is a measure-and-adapt
+//! design — culling, reprovisioning and the fairness trigger are all
+//! driven by what the lock observes about itself — yet the
+//! reproduction's own internals (lock episodes, crew admission, shard
+//! batches, WAL fsyncs) were invisible at runtime: counters lived on
+//! five ad-hoc surfaces and event *ordering* was not recorded at all.
+//! This crate supplies the two missing layers:
+//!
+//! - [`recorder`]: a lock-free, fixed-capacity, per-thread **flight
+//!   recorder**. Each thread writes compact timestamped events into
+//!   its own wrapping ring behind a global sampling gate; when the
+//!   gate is closed the cost of an instrumentation point is a single
+//!   relaxed load. [`recorder::dump`] merges every ring into
+//!   time-ordered JSON lines for post-mortem interleaving analysis.
+//! - [`registry`]: a **metrics registry** where subsystems register
+//!   their existing counters, gauges and latency histograms once;
+//!   [`registry::Registry::exposition`] snapshots them all into one
+//!   Prometheus-text-style document (the `METRICS` wire command and
+//!   the `kvtop` dashboard are both thin clients of it).
+//!
+//! The crate depends only on `malthus-metrics` (itself
+//! dependency-free), so every other crate in the workspace — core,
+//! rwlock, storage, pool — can layer instrumentation on top without
+//! cycles.
+
+#![warn(missing_docs)]
+
+pub mod recorder;
+pub mod registry;
+
+pub use recorder::{record, EventKind};
+pub use registry::Registry;

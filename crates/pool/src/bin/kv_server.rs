@@ -28,6 +28,14 @@
 //!   per-connection idle read timeout (default off); timed-out
 //!   connections are dropped and counted in `STATS
 //!   idle_disconnects=`.
+//! * `--trace-buf <n>` / `MALTHUS_KV_TRACE_BUF` — enable the flight
+//!   recorder with an `n`-event ring per thread (default off: the
+//!   disabled record path is one relaxed load). While enabled,
+//!   `TRACE DUMP` returns the merged event stream, and the server
+//!   prints it to stderr on clean shutdown.
+//! * `--trace-sample <n>` / `MALTHUS_KV_TRACE_SAMPLE` — record one
+//!   event in `n` (default 1 = every event); only meaningful with
+//!   `--trace-buf`.
 //!
 //! With restriction on, the crew's ACS target is
 //! `min(workers, cpus, shards)`: one hot lock pair deserves one
@@ -64,13 +72,15 @@ struct Options {
     data_dir: Option<String>,
     no_wal: bool,
     read_timeout_secs: usize,
+    trace_buf: usize,
+    trace_sample: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: kv_server [--addr <host:port>] [--shards <n>] [--workers <n>] \
          [--queue <n>] [--unrestricted] [--data-dir <path>] [--no-wal] \
-         [--read-timeout-secs <n>]"
+         [--read-timeout-secs <n>] [--trace-buf <n>] [--trace-sample <n>]"
     );
     std::process::exit(2);
 }
@@ -91,6 +101,12 @@ fn parse_args(cpus: usize) -> Options {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
+        // 0 (or absent) means "flight recorder off".
+        trace_buf: std::env::var("MALTHUS_KV_TRACE_BUF")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        trace_sample: env_usize("MALTHUS_KV_TRACE_SAMPLE", 1),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -116,6 +132,8 @@ fn parse_args(cpus: usize) -> Options {
             },
             "--no-wal" => opts.no_wal = true,
             "--read-timeout-secs" => opts.read_timeout_secs = positive("--read-timeout-secs"),
+            "--trace-buf" => opts.trace_buf = positive("--trace-buf"),
+            "--trace-sample" => opts.trace_sample = positive("--trace-sample"),
             _ => usage(),
         }
     }
@@ -141,6 +159,14 @@ fn main() {
         "# kv_server: {} shards, {} workers (ACS target {}), queue bound {}, {cpus} host CPUs",
         opts.shards, opts.workers, cfg.acs_target, opts.queue
     );
+
+    if opts.trace_buf > 0 {
+        malthus_obs::recorder::enable(opts.trace_buf, opts.trace_sample as u32);
+        eprintln!(
+            "# kv_server: flight recorder on: {} events/thread, 1-in-{} sampling",
+            opts.trace_buf, opts.trace_sample
+        );
+    }
 
     let service = match &opts.data_dir {
         Some(dir) => {
@@ -231,5 +257,12 @@ fn main() {
             s.wal_errors,
             if s.readonly { " READONLY" } else { "" },
         );
+    }
+    // With the flight recorder on, the final trace goes to stderr —
+    // the post-mortem a crashed-and-restarted run can't give you.
+    if opts.trace_buf > 0 {
+        let trace = malthus_obs::recorder::dump();
+        eprintln!("# kv_server: flight recorder dump ({} bytes):", trace.len());
+        eprint!("{trace}");
     }
 }

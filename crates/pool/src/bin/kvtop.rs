@@ -1,0 +1,388 @@
+//! `kvtop` — a refreshing terminal dashboard over the `METRICS` verb.
+//!
+//! Polls a running `kv_server` for its unified Prometheus-text-style
+//! exposition and renders interval **rates** (ops/s, fsyncs/s,
+//! batches/s — diffed between polls) next to the admission picture
+//! (exclusive episodes per write, crew active/passive, hot-shard
+//! write share) and interval latency quantiles (batch size, batch
+//! drain, fsync — computed from histogram-bucket deltas). One row per
+//! shard shows how evenly traffic spreads and which shards have gone
+//! read-only.
+//!
+//! Flags (environment fallbacks in parentheses):
+//!
+//! * `--addr <host:port>` (`MALTHUS_KV_ADDR`) — server address,
+//!   default `127.0.0.1:7878`.
+//! * `--interval-ms <n>` (`MALTHUS_KVTOP_INTERVAL_MS`) — poll
+//!   interval, default 1000.
+//! * `--frames <n>` — stop after `n` frames (default 0 = run until
+//!   the server goes away or ^C).
+//! * `--once` — render exactly one frame (two polls one interval
+//!   apart so rates are real) without clearing the screen; for
+//!   scripts and CI smoke tests.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use malthus_pool::kv::{KvClient, DEFAULT_ADDR};
+
+/// One poll of the exposition: every series (name plus rendered label
+/// block, exactly as exposed) mapped to its value.
+struct Sample {
+    at: Instant,
+    series: BTreeMap<String, f64>,
+}
+
+impl Sample {
+    /// Parses an exposition document: `# ...` comment lines skipped,
+    /// every other line `name{labels} value` or `name value`.
+    fn parse(doc: &str, at: Instant) -> Sample {
+        let mut series = BTreeMap::new();
+        for line in doc.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // The value is the text after the last space; the series
+            // key (name + label block) is everything before it. Label
+            // values never contain raw spaces in this exposition
+            // (shard indexes and lock names only).
+            let Some(split) = line.rfind(' ') else {
+                continue;
+            };
+            let (key, val) = line.split_at(split);
+            let val = val.trim();
+            let parsed = match val {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                v => match v.parse() {
+                    Ok(f) => f,
+                    Err(_) => continue,
+                },
+            };
+            series.insert(key.trim_end().to_string(), parsed);
+        }
+        Sample { at, series }
+    }
+
+    fn get(&self, key: &str) -> f64 {
+        self.series.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative histogram buckets of a label-free histogram:
+    /// `(le, count)` pairs sorted by bound.
+    fn buckets(&self, name: &str) -> Vec<(f64, f64)> {
+        let prefix = format!("{name}_bucket{{le=\"");
+        let mut out: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .filter_map(|(k, &v)| {
+                let le = k.strip_prefix(&prefix)?.strip_suffix("\"}")?;
+                let le = match le {
+                    "+Inf" => f64::INFINITY,
+                    le => le.parse().ok()?,
+                };
+                Some((le, v))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Shard indexes present in the exposition, from the per-shard
+    /// read counter family.
+    fn shards(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .series
+            .keys()
+            .filter_map(|k| {
+                k.strip_prefix("kv_shard_reads_total{shard=\"")?
+                    .strip_suffix("\"}")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// `(p50, p99)` over the **interval**: the earlier sample's
+/// cumulative buckets are subtracted from the later's, so the
+/// quantiles describe what happened between the two polls. Returns
+/// `None` when the interval recorded nothing.
+fn interval_quantiles(later: &Sample, earlier: &Sample, name: &str) -> Option<(f64, f64)> {
+    let lb = later.buckets(name);
+    let eb = earlier.buckets(name);
+    if lb.is_empty() {
+        return None;
+    }
+    let delta: Vec<(f64, f64)> = lb
+        .iter()
+        .map(|&(le, c)| {
+            let prev = eb
+                .iter()
+                .find(|&&(ele, _)| ele == le)
+                .map_or(0.0, |&(_, ec)| ec);
+            (le, (c - prev).max(0.0))
+        })
+        .collect();
+    // Cumulative counts: the total is the +Inf bucket (the last).
+    let total = delta.last().map_or(0.0, |&(_, c)| c);
+    if total <= 0.0 {
+        return None;
+    }
+    let q = |q: f64| -> f64 {
+        let rank = (total * q).ceil().max(1.0);
+        for &(le, c) in &delta {
+            if c >= rank {
+                return le;
+            }
+        }
+        f64::INFINITY
+    };
+    Some((q(0.50), q(0.99)))
+}
+
+/// Renders nanoseconds human-readably (the fsync/drain histograms) —
+/// bucket bounds, so one significant step is plenty.
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "inf".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.1}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_quantiles_ns(q: Option<(f64, f64)>) -> String {
+    match q {
+        Some((p50, p99)) => format!("{}/{}", fmt_ns(p50), fmt_ns(p99)),
+        None => "-/-".to_string(),
+    }
+}
+
+/// Per-second rate of a cumulative counter over the poll interval.
+fn rate(later: &Sample, earlier: &Sample, key: &str) -> f64 {
+    let secs = later.at.duration_since(earlier.at).as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    (later.get(key) - earlier.get(key)).max(0.0) / secs
+}
+
+/// One rendered frame. Built as a string so the caller can write it
+/// in one syscall and shrug off a closed stdout (`kvtop | head`).
+fn render(later: &Sample, earlier: &Sample, addr: &SocketAddr, frame: u64) -> String {
+    use std::fmt::Write as _;
+    let mut f = String::new();
+    let reads_s: f64 = later
+        .shards()
+        .iter()
+        .map(|i| {
+            rate(
+                later,
+                earlier,
+                &format!("kv_shard_reads_total{{shard=\"{i}\"}}"),
+            )
+        })
+        .sum();
+    let writes_s: f64 = later
+        .shards()
+        .iter()
+        .map(|i| {
+            rate(
+                later,
+                earlier,
+                &format!("kv_shard_writes_total{{shard=\"{i}\"}}"),
+            )
+        })
+        .sum();
+    let fsyncs_s: f64 = later
+        .shards()
+        .iter()
+        .map(|i| {
+            rate(
+                later,
+                earlier,
+                &format!("kv_shard_wal_syncs_total{{shard=\"{i}\"}}"),
+            )
+        })
+        .sum();
+    let wepis_s: f64 = later
+        .shards()
+        .iter()
+        .map(|i| {
+            rate(
+                later,
+                earlier,
+                &format!("lock_write_episodes_total{{lock=\"db\",shard=\"{i}\"}}"),
+            )
+        })
+        .sum();
+    let excl_per_write = if writes_s > 0.0 {
+        wepis_s / writes_s
+    } else {
+        0.0
+    };
+    let readonly: f64 = later
+        .shards()
+        .iter()
+        .map(|i| later.get(&format!("kv_shard_readonly{{shard=\"{i}\"}}")))
+        .sum();
+
+    let _ = writeln!(
+        f,
+        "kvtop — {addr} — frame {frame} — interval {:.1}s",
+        later.at.duration_since(earlier.at).as_secs_f64()
+    );
+    let _ = writeln!(
+        f,
+        "ops/s {:>10.0}   reads/s {:>10.0}   writes/s {:>9.0}   batches/s {:>8.0}",
+        reads_s + writes_s,
+        reads_s,
+        writes_s,
+        rate(later, earlier, "kv_pipeline_batches_total"),
+    );
+    let _ = writeln!(
+        f,
+        "excl episodes/write {:>6.3}   fsyncs/s {:>8.0}   fsync p50/p99 {}",
+        excl_per_write,
+        fsyncs_s,
+        fmt_quantiles_ns(interval_quantiles(later, earlier, "kv_wal_fsync_ns")),
+    );
+    let batch_q = interval_quantiles(later, earlier, "kv_pipeline_batch_size")
+        .map_or("-/-".to_string(), |(p50, p99)| format!("{p50:.0}/{p99:.0}"));
+    let _ = writeln!(
+        f,
+        "batch size p50/p99 {batch_q}   max batch {:.0}   drain p50/p99 {}",
+        later.get("kv_pipeline_max_batch"),
+        fmt_quantiles_ns(interval_quantiles(later, earlier, "kv_batch_drain_ns")),
+    );
+    let _ = writeln!(
+        f,
+        "crew active {:.0}  passive {:.0}  backlog {:.0}   hot-shard write share {:.2}   \
+         readonly shards {readonly:.0}   idle disconnects {:.0}",
+        later.get("crew_active_workers"),
+        later.get("crew_passive_workers"),
+        later.get("crew_backlog"),
+        later.get("kv_hottest_shard_write_share"),
+        later.get("kv_idle_disconnects_total"),
+    );
+    let _ = writeln!(
+        f,
+        "{:>5} {:>10} {:>10} {:>9} {:>9} {:>10}",
+        "shard", "reads/s", "writes/s", "wepis/s", "fsyncs/s", "keys"
+    );
+    for i in later.shards() {
+        let ro = later.get(&format!("kv_shard_readonly{{shard=\"{i}\"}}")) > 0.0;
+        let _ = writeln!(
+            f,
+            "{i:>5} {:>10.0} {:>10.0} {:>9.0} {:>9.0} {:>10.0}{}",
+            rate(
+                later,
+                earlier,
+                &format!("kv_shard_reads_total{{shard=\"{i}\"}}")
+            ),
+            rate(
+                later,
+                earlier,
+                &format!("kv_shard_writes_total{{shard=\"{i}\"}}")
+            ),
+            rate(
+                later,
+                earlier,
+                &format!("lock_write_episodes_total{{lock=\"db\",shard=\"{i}\"}}")
+            ),
+            rate(
+                later,
+                earlier,
+                &format!("kv_shard_wal_syncs_total{{shard=\"{i}\"}}")
+            ),
+            later.get(&format!("kv_shard_keys{{shard=\"{i}\"}}")),
+            if ro { "  READONLY" } else { "" },
+        );
+    }
+    f
+}
+
+fn usage() -> ! {
+    eprintln!("usage: kvtop [--addr <host:port>] [--interval-ms <n>] [--frames <n>] [--once]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = std::env::var("MALTHUS_KV_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+    let mut interval_ms: u64 = std::env::var("MALTHUS_KVTOP_INTERVAL_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let mut frames: u64 = 0;
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            },
+            "--interval-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => interval_ms = n,
+                _ => usage(),
+            },
+            "--frames" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => frames = n,
+                None => usage(),
+            },
+            "--once" => once = true,
+            _ => usage(),
+        }
+    }
+    if once {
+        frames = 1;
+        // One real frame needs two polls; a short gap keeps `--once`
+        // script-friendly while still measuring actual rates.
+        interval_ms = interval_ms.min(250);
+    }
+    let addr: SocketAddr = addr.parse().expect("--addr must be host:port");
+    let mut client = KvClient::connect_with_backoff(addr, 10)
+        .unwrap_or_else(|e| panic!("could not connect to {addr}: {e}"));
+
+    let poll = |client: &mut KvClient| -> Sample {
+        let doc = client
+            .fetch_document("METRICS")
+            .unwrap_or_else(|e| panic!("METRICS poll failed: {e}"));
+        Sample::parse(&doc, Instant::now())
+    };
+
+    let mut earlier = poll(&mut client);
+    let mut frame = 0u64;
+    loop {
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        let later = poll(&mut client);
+        frame += 1;
+        let mut text = String::new();
+        if !once {
+            // Clear + home: a refreshing dashboard, not a scroll.
+            text.push_str("\x1b[2J\x1b[H");
+        }
+        text.push_str(&render(&later, &earlier, &addr, frame));
+        // A closed stdout (`kvtop | head`) ends the dashboard
+        // quietly instead of panicking mid-print.
+        use std::io::Write as _;
+        let out = std::io::stdout();
+        if out.lock().write_all(text.as_bytes()).is_err() {
+            break;
+        }
+        if frames > 0 && frame >= frames {
+            break;
+        }
+        earlier = later;
+    }
+}

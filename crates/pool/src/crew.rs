@@ -363,6 +363,11 @@ impl WorkCrew {
         }
         state.queue.push_back(task);
         shared.submitted.fetch_add(1, Ordering::Relaxed);
+        malthus_obs::record(
+            malthus_obs::EventKind::CrewAdmit,
+            state.queue.len() as u64,
+            0,
+        );
         shared.signal_work(&mut state);
         Ok(())
     }
@@ -380,6 +385,11 @@ impl WorkCrew {
         }
         state.queue.push_back(Box::new(task));
         shared.submitted.fetch_add(1, Ordering::Relaxed);
+        malthus_obs::record(
+            malthus_obs::EventKind::CrewAdmit,
+            state.queue.len() as u64,
+            0,
+        );
         shared.signal_work(&mut state);
         Ok(())
     }
@@ -425,6 +435,80 @@ impl WorkCrew {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
         }
+    }
+
+    /// Registers the crew's counters and gauges with a metrics
+    /// [`Registry`](malthus_obs::Registry).
+    ///
+    /// The closures capture the crew's shared state (not the
+    /// [`WorkCrew`] handle), so the registry does not keep the crew's
+    /// public handle alive and re-registration after a crew swap
+    /// simply replaces the sources.
+    pub fn register_metrics(&self, registry: &malthus_obs::Registry) {
+        type SharedCounter = fn(&Shared) -> u64;
+        let no_labels: &[(&str, &str)] = &[];
+        let counters: [(&str, &str, SharedCounter); 6] = [
+            ("crew_submitted_total", "Tasks accepted by the crew.", |s| {
+                s.submitted.load(Ordering::Relaxed)
+            }),
+            (
+                "crew_completed_total",
+                "Tasks completed by the crew.",
+                |s| s.completed.load(Ordering::Relaxed),
+            ),
+            (
+                "crew_culls_total",
+                "Workers passivated by admission control.",
+                |s| s.culls.load(Ordering::Relaxed),
+            ),
+            (
+                "crew_reprovisions_total",
+                "Passive workers self-promoted on backlog stall.",
+                |s| s.reprovisions.load(Ordering::Relaxed),
+            ),
+            (
+                "crew_fairness_promotions_total",
+                "Eldest passive workers promoted by the fairness trigger.",
+                |s| s.fairness_promotions.load(Ordering::Relaxed),
+            ),
+            ("crew_panicked_total", "Tasks that panicked.", |s| {
+                s.panicked.load(Ordering::Relaxed)
+            }),
+        ];
+        for (name, help, f) in counters {
+            let shared = Arc::clone(&self.shared);
+            registry.counter(name, help, no_labels, move || f(&shared));
+        }
+        let shared = Arc::clone(&self.shared);
+        registry.gauge(
+            "crew_active_workers",
+            "Workers currently in the active circulating set.",
+            no_labels,
+            move || {
+                let state = shared.state.lock().expect("crew mutex poisoned");
+                state.active as f64
+            },
+        );
+        let shared = Arc::clone(&self.shared);
+        registry.gauge(
+            "crew_passive_workers",
+            "Workers currently parked on the passive LIFO stack.",
+            no_labels,
+            move || {
+                let state = shared.state.lock().expect("crew mutex poisoned");
+                state.passive.len() as f64
+            },
+        );
+        let shared = Arc::clone(&self.shared);
+        registry.gauge(
+            "crew_backlog",
+            "Tasks queued and not yet dequeued.",
+            no_labels,
+            move || {
+                let state = shared.state.lock().expect("crew mutex poisoned");
+                state.queue.len() as f64
+            },
+        );
     }
 
     /// Stops accepting work, drains the queue, joins every worker, and
@@ -545,6 +629,7 @@ fn standby_park<'a>(
             state.last_dequeue = Instant::now();
             state.last_boost_change = Instant::now();
             shared.reprovisions.fetch_add(1, Ordering::Relaxed);
+            malthus_obs::record(malthus_obs::EventKind::CrewPromote, me as u64, 0);
             return state;
         }
         // Poll fast while there is work we might have to rescue, slow
@@ -568,6 +653,7 @@ fn worker_loop(me: usize, parker: Parker, shared: &Shared) {
             state.active -= 1;
             state.passive.push(me);
             shared.culls.fetch_add(1, Ordering::Relaxed);
+            malthus_obs::record(malthus_obs::EventKind::CrewPark, me as u64, 0);
             drop(state);
             state = standby_park(me, &parker, shared);
             continue;
@@ -615,6 +701,7 @@ fn worker_loop(me: usize, parker: Parker, shared: &Shared) {
                 state.roles[me] = Role::Passive;
                 state.passive.push(me);
                 shared.fairness_promotions.fetch_add(1, Ordering::Relaxed);
+                malthus_obs::record(malthus_obs::EventKind::CrewPromote, eldest as u64, 1);
                 shared.unparkers[eldest].unpark();
                 drop(state);
                 state = standby_park(me, &parker, shared);

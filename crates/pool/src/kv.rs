@@ -33,6 +33,8 @@
 //! | `SCAN <start> <limit>` | `RANGE <key>=<value>...` (maybe empty) |
 //! | `PING` | `PONG` |
 //! | `STATS` | `STATS reads=<n> writes=<n> ... shards=<n>` |
+//! | `METRICS` | the full metrics exposition, then a `# EOF` line |
+//! | `TRACE DUMP` | flight-recorder JSON lines, then a `# EOF` line |
 //! | `SHUTDOWN` | `OK` then the server stops accepting |
 //! | `QUIT` | connection closes |
 //! | anything else | `ERR <reason>` |
@@ -98,8 +100,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use malthus_metrics::LatencyHistogram;
 use malthus_storage::{BatchOp, BatchReply, RecoveryReport, ShardedKv, WriteError};
@@ -142,6 +144,12 @@ pub enum Request {
     Ping,
     /// `STATS`
     Stats,
+    /// `METRICS` — the unified registry exposition, terminated by a
+    /// `# EOF` line.
+    Metrics,
+    /// `TRACE DUMP` — the flight recorder's merged JSON lines,
+    /// terminated by a `# EOF` line.
+    TraceDump,
     /// `SHUTDOWN`
     Shutdown,
     /// `QUIT`
@@ -188,6 +196,12 @@ impl Request {
             "SCAN" => Request::Scan(int("start")?, int("limit")?),
             "PING" => Request::Ping,
             "STATS" => Request::Stats,
+            "METRICS" => Request::Metrics,
+            "TRACE" => match parts.next() {
+                Some("DUMP") => Request::TraceDump,
+                Some(other) => return Err(format!("unknown TRACE subcommand {other}")),
+                None => return Err("TRACE needs a subcommand (DUMP)".to_string()),
+            },
             "SHUTDOWN" => Request::Shutdown,
             "QUIT" => Request::Quit,
             other => return Err(format!("unknown verb {other}")),
@@ -240,21 +254,30 @@ fn write_tag(out: &mut String, tag: Option<u64>) {
 }
 
 /// Service-wide pipeline observability: how much batching the drained
-/// wakeups actually achieved.
+/// wakeups actually achieved, and what each batch cost to execute.
 ///
 /// `batches`/`max_batch` are updated live, per batch. The batch-size
 /// *distribution* is collected in a per-connection
 /// [`LatencyHistogram`] (reused across that connection's batches,
-/// recording batch sizes as integer "nanoseconds") and folded into
-/// the service-wide histogram via [`LatencyHistogram::merge`] when
-/// the connection closes — so the `STATS` quantiles cover completed
-/// connections, the same racy-snapshot contract as every other
-/// counter here.
+/// recording batch sizes as integer "nanoseconds"). Live connections
+/// hand out their histogram through
+/// [`PipelineStats::register_connection`], so quantile queries merge
+/// open connections at query time — a long-lived pipelined client is
+/// visible in `STATS`/`METRICS` *while it runs*, not only after it
+/// disconnects — and the histogram is folded into the service-wide
+/// base on disconnect. All reads share the racy-snapshot contract of
+/// every other counter here.
 #[derive(Debug, Default)]
 pub struct PipelineStats {
     batches: AtomicU64,
     max_batch: AtomicU64,
+    /// Closed connections' batch sizes.
     hist: LatencyHistogram,
+    /// Wall time spent executing drained batches under the crew.
+    drain_ns: LatencyHistogram,
+    /// Batch-size histograms of currently-open connections; dead
+    /// weak references are pruned on registration and at query time.
+    live: Mutex<Vec<std::sync::Weak<LatencyHistogram>>>,
 }
 
 impl PipelineStats {
@@ -264,10 +287,33 @@ impl PipelineStats {
         self.max_batch.fetch_max(n, Ordering::Relaxed);
     }
 
-    /// Folds a closing connection's batch-size histogram into the
-    /// service-wide distribution.
-    fn merge_connection(&self, conn_hist: &LatencyHistogram) {
-        self.hist.merge(conn_hist);
+    /// Records the wall time one drained batch took to execute.
+    fn note_drain_ns(&self, ns: u64) {
+        self.drain_ns.record_ns(ns);
+    }
+
+    /// Creates a connection's batch-size histogram and registers it
+    /// for query-time merging while the connection lives.
+    pub fn register_connection(&self) -> Arc<LatencyHistogram> {
+        let hist = Arc::new(LatencyHistogram::new());
+        let mut live = self.live.lock().expect("pipeline live list poisoned");
+        live.retain(|w| w.strong_count() > 0);
+        live.push(Arc::downgrade(&hist));
+        hist
+    }
+
+    /// Retires a closing connection: deregisters the live histogram
+    /// *first*, then folds it into the service-wide base — in that
+    /// order so a concurrent quantile query cannot count the
+    /// connection twice.
+    pub fn retire_connection(&self, conn_hist: Arc<LatencyHistogram>) {
+        {
+            let mut live = self.live.lock().expect("pipeline live list poisoned");
+            live.retain(|w| {
+                w.strong_count() > 0 && !std::ptr::eq(w.as_ptr(), Arc::as_ptr(&conn_hist))
+            });
+        }
+        self.hist.merge(&conn_hist);
     }
 
     /// Total batches drained (one batch = one reader wakeup that
@@ -281,27 +327,61 @@ impl PipelineStats {
         self.max_batch.load(Ordering::Relaxed)
     }
 
+    /// The merged batch-size distribution: closed connections plus
+    /// every currently-open one.
+    fn merged_hist(&self) -> LatencyHistogram {
+        let merged = LatencyHistogram::new();
+        merged.merge(&self.hist);
+        let live = self.live.lock().expect("pipeline live list poisoned");
+        for w in live.iter() {
+            if let Some(h) = w.upgrade() {
+                merged.merge(&h);
+            }
+        }
+        merged
+    }
+
     /// `(p50, p99)` of the batch-size distribution, in requests per
-    /// batch, over connections that have closed (0 before any have).
+    /// batch, over closed **and live** connections.
     pub fn batch_quantiles(&self) -> (u64, u64) {
-        let (p50, p99) = self.hist.p50_p99();
+        let (p50, p99) = self.merged_hist().p50_p99();
         (p50.as_nanos() as u64, p99.as_nanos() as u64)
     }
 
-    /// Batches recorded in the merged distribution (closed
-    /// connections only; lags [`PipelineStats::batches`] while
-    /// connections are open).
+    /// Snapshot of the merged batch-size distribution (closed + live
+    /// connections), for registry exposition.
+    pub fn batch_size_snapshot(&self) -> malthus_metrics::HistogramSnapshot {
+        self.merged_hist().snapshot()
+    }
+
+    /// Snapshot of the batch-drain execution-latency distribution.
+    pub fn drain_snapshot(&self) -> malthus_metrics::HistogramSnapshot {
+        self.drain_ns.snapshot()
+    }
+
+    /// `(p50, p99)` of batch-drain execution latency, nanoseconds.
+    pub fn drain_quantiles(&self) -> (u64, u64) {
+        let (p50, p99) = self.drain_ns.p50_p99();
+        (p50.as_nanos() as u64, p99.as_nanos() as u64)
+    }
+
+    /// Batches folded into the closed-connection distribution (lags
+    /// [`PipelineStats::batches`] while connections are open; the
+    /// quantiles above do *not* lag — they merge live connections).
     pub fn merged_batches(&self) -> u64 {
         self.hist.count()
     }
 }
 
 /// The shared storage state: N shards, each the two contended locks
-/// of §6.5, behind fixed fibonacci-hash routing.
+/// of §6.5, behind fixed fibonacci-hash routing. Also owns the
+/// unified [`Registry`](malthus_obs::Registry) every layer registers
+/// into — the `METRICS` verb renders it in one exposition.
 pub struct KvService {
-    store: ShardedKv,
-    pipeline: PipelineStats,
-    idle_disconnects: AtomicU64,
+    store: Arc<ShardedKv>,
+    pipeline: Arc<PipelineStats>,
+    idle_disconnects: Arc<AtomicU64>,
+    registry: malthus_obs::Registry,
 }
 
 impl KvService {
@@ -320,12 +400,57 @@ impl KvService {
 
     /// Wraps an already-built store (memory-only, durable, or
     /// fault-injected via
-    /// [`ShardedKv::open_with`](malthus_storage::ShardedKv::open_with)).
+    /// [`ShardedKv::open_with`](malthus_storage::ShardedKv::open_with)),
+    /// registering the store's, pipeline's, and service's metrics
+    /// into a fresh unified registry.
     pub fn from_store(store: ShardedKv) -> Self {
+        let store = Arc::new(store);
+        let pipeline = Arc::new(PipelineStats::default());
+        let idle_disconnects = Arc::new(AtomicU64::new(0));
+        let registry = malthus_obs::Registry::new();
+        store.register_metrics(&registry);
+        {
+            let p = Arc::clone(&pipeline);
+            registry.counter(
+                "kv_pipeline_batches_total",
+                "Drained pipeline batches executed",
+                &[],
+                move || p.batches(),
+            );
+            let p = Arc::clone(&pipeline);
+            registry.gauge(
+                "kv_pipeline_max_batch",
+                "Largest batch any connection drained in one wakeup",
+                &[],
+                move || p.max_batch() as f64,
+            );
+            let p = Arc::clone(&pipeline);
+            registry.histogram(
+                "kv_pipeline_batch_size",
+                "Requests per drained batch (closed plus live connections)",
+                &[],
+                move || p.batch_size_snapshot(),
+            );
+            let p = Arc::clone(&pipeline);
+            registry.histogram(
+                "kv_batch_drain_ns",
+                "Wall nanoseconds executing one drained batch under the crew",
+                &[],
+                move || p.drain_snapshot(),
+            );
+            let idle = Arc::clone(&idle_disconnects);
+            registry.counter(
+                "kv_idle_disconnects_total",
+                "Connections dropped by the per-connection read timeout",
+                &[],
+                move || idle.load(Ordering::Relaxed),
+            );
+        }
         KvService {
             store,
-            pipeline: PipelineStats::default(),
-            idle_disconnects: AtomicU64::new(0),
+            pipeline,
+            idle_disconnects,
+            registry,
         }
     }
 
@@ -361,6 +486,13 @@ impl KvService {
     /// batch-size distribution (see [`PipelineStats`]).
     pub fn pipeline_stats(&self) -> &PipelineStats {
         &self.pipeline
+    }
+
+    /// The unified metrics registry behind the `METRICS` verb. Other
+    /// layers (the crew, embedders) register into it; registration is
+    /// replace-on-same-name-and-labels, so re-wiring is idempotent.
+    pub fn registry(&self) -> &malthus_obs::Registry {
+        &self.registry
     }
 
     /// Inserts or updates a key (exclusive access to its shard only).
@@ -475,6 +607,20 @@ impl KvService {
                     self.idle_disconnects(),
                     self.store.shard_count()
                 );
+            }
+            Request::Metrics => {
+                // Multi-line response: the full Prometheus-text-style
+                // exposition, terminated by a bare `# EOF` line so a
+                // line-oriented client knows where it ends.
+                out.push_str(&self.registry.exposition());
+                out.push_str("# EOF");
+            }
+            Request::TraceDump => {
+                // Multi-line response: one JSON object per recorded
+                // flight-recorder event, `# EOF`-terminated. Empty
+                // (just the terminator) when tracing is disabled.
+                out.push_str(&malthus_obs::recorder::dump());
+                out.push_str("# EOF");
             }
             Request::Shutdown | Request::Quit => out.push_str("OK"),
         }
@@ -692,6 +838,9 @@ pub fn serve_with(
     service: Arc<KvService>,
     opts: ServeOptions,
 ) -> std::io::Result<()> {
+    // The crew serving this listener contributes its counters to the
+    // service's unified registry (idempotent: replaces on re-serve).
+    crew.register_metrics(service.registry());
     let mut conns: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
     for stream in listener.incoming() {
         if control.stop.load(Ordering::SeqCst) {
@@ -760,9 +909,11 @@ fn handle_connection(
     // (one boxed task + one channel), never per request.
     let mut batch: Vec<Parsed> = Vec::new();
     let mut out = String::new();
-    // Per-connection batch-size distribution, merged into the
+    // Per-connection batch-size distribution, visible to quantile
+    // queries while the connection lives and folded into the
     // service-wide histogram on disconnect (STATS pbatch_p50/p99).
-    let conn_hist = LatencyHistogram::new();
+    let conn_hist = service.pipeline_stats().register_connection();
+    malthus_obs::record(malthus_obs::EventKind::ConnOpen, 0, 0);
     'conn: loop {
         line.clear();
         match reader.read_line(&mut line) {
@@ -776,6 +927,7 @@ fn handle_connection(
                 ) =>
             {
                 service.note_idle_disconnect();
+                malthus_obs::record(malthus_obs::EventKind::ConnIdleReap, 0, 0);
                 break;
             }
             Err(_) => break,
@@ -833,7 +985,10 @@ fn handle_connection(
             let mut buf = std::mem::take(&mut out);
             let submitted = crew.submit(move || {
                 buf.clear();
+                let drain_start = Instant::now();
                 service_task.apply_batch(&reqs, &crew_task, &mut buf);
+                let drain_ns = drain_start.elapsed().as_nanos() as u64;
+                service_task.pipeline_stats().note_drain_ns(drain_ns);
                 // All of the batch's responses leave in one write.
                 let _ = write_all(&writer_task, buf.as_bytes());
                 reqs.clear();
@@ -871,7 +1026,7 @@ fn handle_connection(
     // connection open and the peer blocked in read. `shutdown` acts
     // on the socket itself: the peer sees EOF immediately.
     let _ = reader.get_ref().shutdown(std::net::Shutdown::Both);
-    service.pipeline_stats().merge_connection(&conn_hist);
+    service.pipeline_stats().retire_connection(conn_hist);
 }
 
 /// Writes `bytes` (one or more newline-terminated response lines) as
@@ -1006,6 +1161,29 @@ impl KvClient {
     pub fn roundtrip(&mut self, request: &str) -> std::io::Result<&str> {
         self.send_line(request)?;
         self.recv_line()
+    }
+
+    /// Sends one request whose response is a **multi-line document**
+    /// terminated by a bare `# EOF` line (`METRICS`, `TRACE DUMP`),
+    /// returning the body with the terminator stripped. Owned, not
+    /// borrowed: documents outlive the reused line buffer.
+    pub fn fetch_document(&mut self, request: &str) -> std::io::Result<String> {
+        self.send_line(request)?;
+        let mut doc = String::new();
+        loop {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-document",
+                ));
+            }
+            if self.line.trim_end() == "# EOF" {
+                return Ok(doc);
+            }
+            doc.push_str(&self.line);
+        }
     }
 }
 
@@ -1162,6 +1340,84 @@ mod tests {
             "{stats}"
         );
         assert!(stats.ends_with("shards=2"), "{stats}");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn metrics_exposition_covers_every_layer() {
+        let svc = KvService::with_shards(2, 64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        crew.register_metrics(svc.registry());
+        svc.put(1, 10).unwrap();
+        svc.put(2, 20).unwrap();
+        assert_eq!(svc.get(1), Some(10));
+        let doc = svc.apply(Request::Metrics, &crew);
+        // One unified exposition: shard counters, per-shard lock
+        // counters, crew counters, WAL/latency histograms, and the
+        // hot-shard gauge, `# EOF`-terminated.
+        for needle in [
+            "# HELP kv_shard_reads_total",
+            "# TYPE kv_shard_reads_total counter",
+            "kv_shard_reads_total{shard=\"0\"}",
+            "kv_shard_writes_total{shard=\"1\"}",
+            "lock_write_episodes_total{lock=\"db\",shard=\"0\"}",
+            "crew_completed_total",
+            "crew_active_workers",
+            "kv_shard_wal_syncs_total{shard=\"0\"}",
+            "# TYPE kv_wal_fsync_ns histogram",
+            "kv_wal_fsync_ns_count",
+            "# TYPE kv_pipeline_batch_size histogram",
+            "kv_batch_drain_ns_count",
+            "kv_hottest_shard_write_share",
+            "kv_idle_disconnects_total 0",
+        ] {
+            assert!(doc.contains(needle), "missing {needle:?} in:\n{doc}");
+        }
+        assert!(doc.ends_with("# EOF"), "{doc}");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn trace_dump_renders_recorded_events() {
+        let svc = KvService::with_shards(1, 64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        malthus_obs::recorder::enable(256, 1);
+        malthus_obs::record(malthus_obs::EventKind::ConnOpen, 57_005, 48_879);
+        let doc = svc.apply(Request::TraceDump, &crew);
+        malthus_obs::recorder::disable();
+        assert!(doc.ends_with("# EOF"), "{doc}");
+        let marker = doc
+            .lines()
+            .find(|l| l.contains("\"event\":\"conn_open\"") && l.contains("\"a\":57005"))
+            .unwrap_or_else(|| panic!("marker event missing in:\n{doc}"));
+        assert!(marker.contains("\"b\":48879"), "{marker}");
+        assert!(marker.starts_with('{') && marker.ends_with('}'), "{marker}");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn pbatch_quantiles_see_live_connections() {
+        let svc = KvService::with_shards(1, 64, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        let conn = svc.pipeline_stats().register_connection();
+        for _ in 0..8 {
+            conn.record_ns(16);
+        }
+        // The connection is still open, yet its batches are already
+        // visible to the quantiles (the bug this fixes: they used to
+        // appear only after disconnect).
+        let (p50, p99) = svc.pipeline_stats().batch_quantiles();
+        assert!(p50 > 0 && p99 > 0, "live batches invisible: ({p50}, {p99})");
+        assert_eq!(svc.pipeline_stats().merged_batches(), 0, "not folded yet");
+        assert_eq!(svc.pipeline_stats().batch_size_snapshot().count(), 8);
+        let stats = svc.apply(Request::Stats, &crew);
+        assert!(!stats.contains("pbatch_p50=0"), "{stats}");
+        // Retiring folds the histogram into the base exactly once —
+        // the merged view must not double-count.
+        svc.pipeline_stats().retire_connection(conn);
+        assert_eq!(svc.pipeline_stats().merged_batches(), 8);
+        assert_eq!(svc.pipeline_stats().batch_size_snapshot().count(), 8);
+        assert_eq!(svc.pipeline_stats().batch_quantiles(), (p50, p99));
         crew.shutdown();
     }
 

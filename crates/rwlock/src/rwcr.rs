@@ -292,6 +292,12 @@ impl RwCrLock {
         self.writer.cr_stats()
     }
 
+    /// The flight-recorder identity of this lock instance: its
+    /// address, stable for the lock's lifetime.
+    fn id(&self) -> u64 {
+        self as *const Self as usize as u64
+    }
+
     /// Releases one read slot; if this was the last reader of a
     /// closing read phase, hands the drain cell its signal.
     fn exit_read(&self) {
@@ -379,8 +385,10 @@ impl RwCrLock {
             };
             if with_slot {
                 self.rside.fairness_grants.bump();
+                malthus_obs::record(malthus_obs::EventKind::LockFairnessGrant, self.id(), 0);
             } else {
                 self.rside.reprovisions.bump();
+                malthus_obs::record(malthus_obs::EventKind::LockReprovision, self.id(), 0);
             }
             // SAFETY: the waiter is captive until signalled; each
             // entry is popped (hence signalled) exactly once, and the
@@ -462,6 +470,7 @@ impl RwCrLock {
             });
             self.rside.len.store(list.len(), Ordering::Relaxed);
             self.rside.culls.bump();
+            malthus_obs::record(malthus_obs::EventKind::LockCull, self.id(), 0);
             self.rside.gate.unlock();
         }
         cell.wait(self.policy);

@@ -58,8 +58,10 @@ use std::io;
 use std::ops::{Deref, DerefMut};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use malthus::{current_thread_index, LockCounter, McsCrMutex};
+use malthus_metrics::LatencyHistogram;
 use malthus_rwlock::{RwCrMutex, RwStats};
 
 use crate::minikv::MiniKv;
@@ -423,6 +425,9 @@ impl ShardedKvStats {
 pub struct ShardedKv {
     router: ShardRouter,
     shards: Vec<Shard>,
+    /// Fsync latencies across all shards (empty for memory-only
+    /// stores: no WAL, no fsyncs). Shared with each [`ShardWal`].
+    fsync_hist: Arc<LatencyHistogram>,
 }
 
 impl ShardedKv {
@@ -445,7 +450,11 @@ impl ShardedKv {
                 )
             })
             .collect();
-        ShardedKv { router, shards }
+        ShardedKv {
+            router,
+            shards,
+            fsync_hist: Arc::new(LatencyHistogram::new()),
+        }
     }
 
     /// Opens a **durable** store rooted at `dir` with default
@@ -496,6 +505,7 @@ impl ShardedKv {
         check_manifest(dir, shards)?;
         let router = ShardRouter::new(shards);
         let threshold = opts.checkpoint_threshold();
+        let fsync_hist = Arc::new(LatencyHistogram::new());
         let mut built = Vec::with_capacity(shards);
         let mut report = RecoveryReport::default();
         for i in 0..shards {
@@ -511,19 +521,26 @@ impl ShardedKv {
                 debug_assert_eq!(router.route(k), i, "replayed key routed off-shard");
                 kv.put(k, v);
             }
-            built.push(Shard::build(
-                ShardState::durable(kv, ShardWal::new(io)),
-                cache_blocks,
-            ));
+            let mut wal = ShardWal::new(io);
+            wal.set_observer(i as u64, Arc::clone(&fsync_hist));
+            built.push(Shard::build(ShardState::durable(kv, wal), cache_blocks));
             report.per_shard.push(recovery);
         }
         Ok((
             ShardedKv {
                 router,
                 shards: built,
+                fsync_hist,
             },
             report,
         ))
+    }
+
+    /// The store-wide WAL fsync-latency histogram (one observation
+    /// per group commit, all shards merged). Always present; never
+    /// records for memory-only stores.
+    pub fn fsync_hist(&self) -> &Arc<LatencyHistogram> {
+        &self.fsync_hist
     }
 
     /// Number of shards.
@@ -702,6 +719,11 @@ impl ShardedKv {
                 continue;
             }
             let shard = &self.shards[shard_idx];
+            malthus_obs::record(
+                malthus_obs::EventKind::ShardBatchBegin,
+                shard_idx as u64,
+                group.len() as u64,
+            );
             let dirty = group.iter().any(|&f| ops[flat[f].0 as usize].is_write());
             let mut saw_mget = false;
             if dirty {
@@ -784,6 +806,11 @@ impl ShardedKv {
             if saw_mget {
                 shard.mgets.fetch_add(1, Ordering::Relaxed);
             }
+            malthus_obs::record(
+                malthus_obs::EventKind::ShardBatchEnd,
+                shard_idx as u64,
+                group.len() as u64,
+            );
         }
         replies
     }
@@ -831,42 +858,171 @@ impl ShardedKv {
     /// under the read lock and the cache counters under the cache
     /// lock — taken one after the other, not nested.
     pub fn stats(&self) -> ShardedKvStats {
-        let per_shard = self
-            .shards
-            .iter()
-            .map(|shard| {
-                let (reads, writes, keys, runs, wal_appends, wal_syncs, wal_bytes) = {
-                    let db = shard.db.read();
-                    (
-                        db.reads(),
-                        db.writes(),
-                        db.len_estimate(),
-                        db.run_count(),
-                        db.wal_appends(),
-                        db.wal_syncs(),
-                        db.wal_bytes(),
-                    )
-                };
-                let cache = shard.cache.lock().stats();
-                ShardSnapshot {
-                    reads,
-                    writes,
-                    keys,
-                    runs,
-                    mgets: shard.mgets.load(Ordering::Relaxed),
-                    msets: shard.msets.get(),
-                    scans: shard.scans.load(Ordering::Relaxed),
-                    wal_appends,
-                    wal_syncs,
-                    wal_bytes,
-                    wal_errors: shard.wal_errors.load(Ordering::Relaxed),
-                    readonly: shard.readonly.load(Ordering::Relaxed),
-                    db_lock: shard.db.raw().stats(),
-                    cache,
-                }
-            })
-            .collect();
-        ShardedKvStats { per_shard }
+        ShardedKvStats {
+            per_shard: (0..self.shards.len())
+                .map(|i| self.shard_stats(i))
+                .collect(),
+        }
+    }
+
+    /// Racy snapshot of a single shard (see [`ShardedKv::stats`]).
+    /// Cheaper than a full [`ShardedKvStats`] when only one shard is
+    /// being sampled, e.g. by per-shard registry closures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn shard_stats(&self, index: usize) -> ShardSnapshot {
+        let shard = &self.shards[index];
+        let (reads, writes, keys, runs, wal_appends, wal_syncs, wal_bytes) = {
+            let db = shard.db.read();
+            (
+                db.reads(),
+                db.writes(),
+                db.len_estimate(),
+                db.run_count(),
+                db.wal_appends(),
+                db.wal_syncs(),
+                db.wal_bytes(),
+            )
+        };
+        let cache = shard.cache.lock().stats();
+        ShardSnapshot {
+            reads,
+            writes,
+            keys,
+            runs,
+            mgets: shard.mgets.load(Ordering::Relaxed),
+            msets: shard.msets.get(),
+            scans: shard.scans.load(Ordering::Relaxed),
+            wal_appends,
+            wal_syncs,
+            wal_bytes,
+            wal_errors: shard.wal_errors.load(Ordering::Relaxed),
+            readonly: shard.readonly.load(Ordering::Relaxed),
+            db_lock: shard.db.raw().stats(),
+            cache,
+        }
+    }
+
+    /// Registers the store's per-shard counters, the skew gauge, and
+    /// the WAL fsync histogram with a metrics
+    /// [`Registry`](malthus_obs::Registry).
+    ///
+    /// Closures capture an `Arc` of the store, so the registry may
+    /// outlive the registering call site; each sample takes only the
+    /// one shard's locks it reports on.
+    pub fn register_metrics(self: &Arc<Self>, registry: &malthus_obs::Registry) {
+        type SnapshotCounter = fn(&ShardSnapshot) -> u64;
+        let shard_counters: [(&str, &str, SnapshotCounter); 8] = [
+            ("kv_shard_reads_total", "Reads served by the shard.", |s| {
+                s.reads
+            }),
+            (
+                "kv_shard_writes_total",
+                "Writes accepted by the shard.",
+                |s| s.writes,
+            ),
+            (
+                "kv_shard_scans_total",
+                "Scans that visited the shard.",
+                |s| s.scans,
+            ),
+            (
+                "kv_shard_wal_appends_total",
+                "WAL group commits appended.",
+                |s| s.wal_appends,
+            ),
+            ("kv_shard_wal_syncs_total", "WAL fsyncs issued.", |s| {
+                s.wal_syncs
+            }),
+            (
+                "kv_shard_wal_bytes_total",
+                "Bytes appended to the WAL.",
+                |s| s.wal_bytes,
+            ),
+            (
+                "kv_shard_wal_errors_total",
+                "WAL I/O errors observed.",
+                |s| s.wal_errors,
+            ),
+            ("kv_shard_runs_total", "Frozen memtable runs.", |s| {
+                s.runs as u64
+            }),
+        ];
+        let lock_counters: [(&str, &str, SnapshotCounter); 5] = [
+            (
+                "lock_reader_culls_total",
+                "Readers passivated by the shard DB lock.",
+                |s| s.db_lock.reader_culls,
+            ),
+            (
+                "lock_reader_reprovisions_total",
+                "Readers reprovisioned by the shard DB lock.",
+                |s| s.db_lock.reader_reprovisions,
+            ),
+            (
+                "lock_reader_fairness_grants_total",
+                "Reader fairness grants by the shard DB lock.",
+                |s| s.db_lock.reader_fairness_grants,
+            ),
+            (
+                "lock_write_episodes_total",
+                "Exclusive write episodes on the shard DB lock.",
+                |s| s.db_lock.write_episodes,
+            ),
+            (
+                "lock_writer_drain_waits_total",
+                "Writer waits for the reader count to drain.",
+                |s| s.db_lock.writer_drain_waits,
+            ),
+        ];
+        for i in 0..self.shards.len() {
+            let shard_label = i.to_string();
+            for (name, help, f) in shard_counters {
+                let store = Arc::clone(self);
+                registry.counter(name, help, &[("shard", &shard_label)], move || {
+                    f(&store.shard_stats(i))
+                });
+            }
+            for (name, help, f) in lock_counters {
+                let store = Arc::clone(self);
+                registry.counter(
+                    name,
+                    help,
+                    &[("lock", "db"), ("shard", &shard_label)],
+                    move || f(&store.shard_stats(i)),
+                );
+            }
+            let store = Arc::clone(self);
+            registry.gauge(
+                "kv_shard_keys",
+                "Resident keys (memtable + runs, duplicates included).",
+                &[("shard", &shard_label)],
+                move || store.shard_stats(i).keys as f64,
+            );
+            let store = Arc::clone(self);
+            registry.gauge(
+                "kv_shard_readonly",
+                "1 when the shard is poisoned read-only after a WAL failure.",
+                &[("shard", &shard_label)],
+                move || u8::from(store.shard_stats(i).readonly) as f64,
+            );
+        }
+        let store = Arc::clone(self);
+        registry.gauge(
+            "kv_hottest_shard_write_share",
+            "Fraction of all writes landing on the hottest shard (1/shards = uniform).",
+            &[],
+            move || store.stats().hottest_write_share(),
+        );
+        let hist = Arc::clone(&self.fsync_hist);
+        registry.histogram(
+            "kv_wal_fsync_ns",
+            "WAL fsync latency per group commit, nanoseconds.",
+            &[],
+            move || hist.snapshot(),
+        );
     }
 }
 

@@ -41,6 +41,10 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use malthus_metrics::LatencyHistogram;
 
 /// Bytes of header before each record's payload (`len` + `crc`).
 pub const RECORD_HEADER_BYTES: usize = 8;
@@ -297,6 +301,10 @@ pub struct ShardWal {
     appends: u64,
     syncs: u64,
     bytes: u64,
+    /// Shard id reported in flight-recorder events.
+    shard: u64,
+    /// Shared fsync-latency histogram, when an observer is attached.
+    sync_hist: Option<Arc<LatencyHistogram>>,
 }
 
 impl std::fmt::Debug for ShardWal {
@@ -318,7 +326,17 @@ impl ShardWal {
             appends: 0,
             syncs: 0,
             bytes: 0,
+            shard: 0,
+            sync_hist: None,
         }
+    }
+
+    /// Attaches an observer: flight-recorder events carry `shard` as
+    /// their shard id and every fsync latency is recorded into
+    /// `sync_hist` (typically one histogram shared by all shards).
+    pub fn set_observer(&mut self, shard: u64, sync_hist: Arc<LatencyHistogram>) {
+        self.shard = shard;
+        self.sync_hist = Some(sync_hist);
     }
 
     /// Group commit: encodes `pairs` as **one** record, appends it,
@@ -335,7 +353,18 @@ impl ShardWal {
         self.buf.clear();
         encode_record(&mut self.buf, pairs);
         self.io.append(&self.buf)?;
+        malthus_obs::record(
+            malthus_obs::EventKind::WalAppend,
+            self.shard,
+            self.buf.len() as u64,
+        );
+        let sync_start = Instant::now();
         self.io.sync()?;
+        let sync_ns = u64::try_from(sync_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(hist) = &self.sync_hist {
+            hist.record_ns(sync_ns);
+        }
+        malthus_obs::record(malthus_obs::EventKind::WalFsync, self.shard, sync_ns);
         self.appends += 1;
         self.syncs += 1;
         self.bytes += self.buf.len() as u64;
