@@ -2,19 +2,25 @@
 //! `BENCH_obs.json` plus per-mode part files for `bench_compare`.
 //!
 //! Runs the pipelined KV workload (real loopback TCP, windowed tagged
-//! clients, batched under-lock execution) three times per cell with
-//! the flight recorder **off**, **on** (every event), and **sampled**
-//! (1 in `MALTHUS_OBS_SAMPLE`), interleaved median-of-trials. The
-//! recorder is process-global, so enabling it here instruments the
-//! in-process server exactly as `kv_server --trace-buf` would.
+//! clients, batched under-lock execution) four times per cell: flight
+//! recorder **off**, **on** (every event), **sampled** (1 in
+//! `MALTHUS_OBS_SAMPLE`), and **spans** (recorder off, the per-batch
+//! stage clocks of `malthus_obs::span` on), interleaved
+//! median-of-trials. Both facilities are process-global, so enabling
+//! them here instruments the in-process server exactly as `kv_server`
+//! would. The first three modes force the span gate *off* so the
+//! recorder baseline is clean; the spans mode is the only one paying
+//! for stage clocks.
 //!
 //! The combined `BENCH_obs.json` carries one series per mode
 //! (`recorder-off@shards<S>`, …) for eyeballing. The part files
 //! (`BENCH_obs_off.json`, `BENCH_obs_on.json`,
-//! `BENCH_obs_sampled.json`) all name their series plain
-//! `pipeline@shards<S>` — the *same* cells across files — so
-//! `bench_compare BENCH_obs_off.json BENCH_obs_sampled.json
-//! --fail-below 0.98` gates the sampled recorder at ≤2% overhead.
+//! `BENCH_obs_sampled.json`, `BENCH_obs_spans.json`) all name their
+//! series plain `pipeline@shards<S>` — the *same* cells across files
+//! — so `bench_compare BENCH_obs_off.json BENCH_obs_sampled.json
+//! --fail-below 0.98` gates the sampled recorder at ≤2% overhead, and
+//! `bench_compare BENCH_obs_off.json BENCH_obs_spans.json
+//! --fail-below 0.98` gates always-on span tracing the same way.
 //!
 //! Environment knobs:
 //!
@@ -37,9 +43,15 @@ use malthus_bench::livebench::{median, rel_spread, to_json, Series};
 use malthus_bench::{env_sweep, env_u64, thread_sweep};
 use malthus_workloads::pipeline::{run_pipeline_loop, PipelineShape};
 
-/// The three recorder configurations under test: `stride` of 0 means
-/// disabled, 1 records every event, N records one in N.
-const MODES: [(&str, u32); 3] = [("off", 0), ("on", 1), ("sampled", 0 /* knob */)];
+/// The four observability configurations under test: recorder
+/// `stride` of 0 means disabled, 1 records every event, N records one
+/// in N; `spans` turns the per-batch stage clocks on (recorder off).
+const MODES: [(&str, u32, bool); 4] = [
+    ("off", 0, false),
+    ("on", 1, false),
+    ("sampled", 0 /* knob */, false),
+    ("spans", 0, true),
+];
 
 /// The workload constants shared by every cell of the sweep.
 struct SweepCfg {
@@ -50,12 +62,22 @@ struct SweepCfg {
     depth: usize,
 }
 
-fn measure_cell(cfg: &SweepCfg, stride: u32, shards: usize, conns: usize, seed: u64) -> f64 {
+fn measure_cell(
+    cfg: &SweepCfg,
+    stride: u32,
+    spans: bool,
+    shards: usize,
+    conns: usize,
+    seed: u64,
+) -> f64 {
     if stride > 0 {
         malthus_obs::recorder::enable(cfg.trace_buf, stride);
     } else {
         malthus_obs::recorder::disable();
     }
+    // The span gate defaults on process-wide; set it explicitly both
+    // ways so the non-span modes measure a clean baseline.
+    malthus_obs::span::set_enabled(spans);
     let shape = PipelineShape::new(cfg.keys, cfg.put_pct, cfg.depth);
     let report = run_pipeline_loop(shards, conns, cfg.interval_ms as f64 / 1_000.0, shape, seed);
     // Quiesced now (server and clients joined): drop the cell's rings
@@ -79,13 +101,15 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let n_trials = malthus_bench::livebench::trials();
 
-    let modes: Vec<(&str, u32)> = MODES
+    let modes: Vec<(&str, u32, bool)> = MODES
         .iter()
-        .map(|&(name, stride)| (name, if name == "sampled" { sample } else { stride }))
+        .map(|&(name, stride, spans)| {
+            (name, if name == "sampled" { sample } else { stride }, spans)
+        })
         .collect();
 
     eprintln!(
-        "# bench_obs: recorder {{off, on, 1-in-{sample}}} x conns {conns:?} x \
+        "# bench_obs: {{recorder off, on, 1-in-{sample}, spans}} x conns {conns:?} x \
          shards {shard_counts:?}, depth {depth}, {put_pct}% PUT, {interval_ms} ms per cell, \
          {n_trials} trials, {host_cpus} host CPUs"
     );
@@ -103,16 +127,18 @@ fn main() {
     let n_cells = modes.len() * shard_counts.len();
     let mut ops: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); conns.len()]; n_cells];
     for round in 0..n_trials {
-        for (mi, &(_, stride)) in modes.iter().enumerate() {
+        for (mi, &(_, stride, spans)) in modes.iter().enumerate() {
             for (si, &shards) in shard_counts.iter().enumerate() {
                 for (j, &c) in conns.iter().enumerate() {
                     let seed = 0x0B50_0000 + (round * 1_000 + mi * 100 + si * 10 + j) as u64;
-                    let o = measure_cell(&cfg, stride, shards, c, seed);
+                    let o = measure_cell(&cfg, stride, spans, shards, c, seed);
                     ops[mi * shard_counts.len() + si][j].push(o);
                 }
             }
         }
     }
+    // Leave the process-global gate in its default (on) state.
+    malthus_obs::span::set_enabled(true);
 
     let build_series = |mi: usize, si: usize, name: String| -> Series {
         let i = mi * shard_counts.len() + si;
@@ -169,7 +195,7 @@ fn main() {
     let combined: Vec<Series> = modes
         .iter()
         .enumerate()
-        .flat_map(|(mi, &(mode, _))| {
+        .flat_map(|(mi, &(mode, _, _))| {
             shard_counts
                 .iter()
                 .enumerate()
@@ -197,6 +223,7 @@ fn main() {
     };
     let on_ratio = mode_ratio(1);
     let sampled_ratio = mode_ratio(2);
+    let spans_ratio = mode_ratio(3);
 
     let mut extras = base_extras.clone();
     extras.push(("recorder_on_vs_off".to_string(), format!("{on_ratio:.4}")));
@@ -204,6 +231,7 @@ fn main() {
         "recorder_sampled_vs_off".to_string(),
         format!("{sampled_ratio:.4}"),
     ));
+    extras.push(("spans_vs_off".to_string(), format!("{spans_ratio:.4}")));
     let json = to_json(&combined, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_obs.json");
     eprintln!("# wrote {out_path}");
@@ -211,7 +239,7 @@ fn main() {
     // Part files for bench_compare: same series names across modes so
     // every contended cell matches.
     let stem = out_path.strip_suffix(".json").unwrap_or(&out_path);
-    for (mi, &(mode, _)) in modes.iter().enumerate() {
+    for (mi, &(mode, _, _)) in modes.iter().enumerate() {
         let series: Vec<Series> = shard_counts
             .iter()
             .enumerate()
@@ -243,6 +271,6 @@ fn main() {
     }
     println!(
         "# overhead: recorder on {on_ratio:.3}x of off, sampled (1-in-{sample}) \
-         {sampled_ratio:.3}x of off"
+         {sampled_ratio:.3}x of off, spans {spans_ratio:.3}x of off"
     );
 }

@@ -381,10 +381,35 @@ unsafe impl RawLock for McsCrLock {
         let node = alloc_node();
         let prev = self.tail.swap(node, Ordering::AcqRel);
         if !prev.is_null() {
+            // Span tracing: the uncontended path above never reads the
+            // clock; this already-blocking slow path stamps its wait so
+            // the service can attribute lock admission cost per batch.
+            let t0 = if malthus_obs::span::enabled() {
+                malthus_obs::span::now_ns()
+            } else {
+                0
+            };
             // SAFETY: `prev` is live until it observes our link.
             unsafe {
                 (*prev).next.store(node, Ordering::Release);
                 (*node).cell.wait(self.policy);
+            }
+            if t0 != 0 {
+                let total = malthus_obs::span::now_ns().saturating_sub(t0);
+                // If a holder culled us to the passive list it stamped
+                // the moment into our node (the wake signal orders the
+                // stamp before this read); split the wait there —
+                // before the stamp was ordinary MCS admission, after it
+                // was Malthusian passive-list residency.
+                // SAFETY: we hold the lock; the node is ours again.
+                let culled_at = unsafe { (*node).culled_at.swap(0, Ordering::Relaxed) };
+                if culled_at > t0 {
+                    let admission = culled_at - t0;
+                    malthus_obs::span::add_lock_wait(admission);
+                    malthus_obs::span::add_cull_wait(total.saturating_sub(admission));
+                } else {
+                    malthus_obs::span::add_lock_wait(total);
+                }
             }
         }
         // SAFETY: we hold the lock.
@@ -482,6 +507,15 @@ unsafe impl RawLock for McsCrLock {
             // ever skips a cull (conservative, safe).
             if succ != self.tail.load(Ordering::Relaxed) {
                 let next = wait_link(succ);
+                // Span tracing: stamp the cull moment into the victim's
+                // node so it can split its wait into admission vs
+                // passive residency on wake (the eventual signal orders
+                // this store before the victim's read).
+                if malthus_obs::span::enabled() {
+                    (*succ)
+                        .culled_at
+                        .store(malthus_obs::span::now_ns(), Ordering::Relaxed);
+                }
                 passive.push_head(succ);
                 self.cr.culls.bump();
                 malthus_obs::record(malthus_obs::EventKind::LockCull, self.id(), 0);

@@ -19,7 +19,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use malthus_park::WaitCell;
 
@@ -30,6 +30,10 @@ use malthus_park::WaitCell;
 /// list — the passive set for MCSCR, the remote set for MCSCRN — and
 /// are only ever touched by the current lock holder. `numa` is the
 /// arriving thread's NUMA node id, used by MCSCRN's culling criterion.
+/// `culled_at` is a span-tracing stamp: the lock holder stores the
+/// monotonic time it moved this node to the passive list (0 = never
+/// culled), and the waiter reads it back on wake to split its total
+/// wait into admission time vs passive-list residency.
 ///
 /// The node is aligned (hence padded) to 128 bytes so that two nodes
 /// never share a cache line or a prefetch pair: a waiter spins on its
@@ -44,6 +48,7 @@ pub(crate) struct QNode {
     pub(crate) pprev: Cell<*mut QNode>,
     pub(crate) pnext: Cell<*mut QNode>,
     pub(crate) numa: Cell<u32>,
+    pub(crate) culled_at: AtomicU64,
 }
 
 impl QNode {
@@ -54,6 +59,7 @@ impl QNode {
             pprev: Cell::new(ptr::null_mut()),
             pnext: Cell::new(ptr::null_mut()),
             numa: Cell::new(0),
+            culled_at: AtomicU64::new(0),
         }
     }
 }
@@ -160,6 +166,7 @@ pub(crate) unsafe fn free_node(node: *mut QNode) {
         (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
         (*node).pprev.set(ptr::null_mut());
         (*node).pnext.set(ptr::null_mut());
+        (*node).culled_at.store(0, Ordering::Relaxed);
     }
     let overflow = NODE_ARENA
         .try_with(|a| a.release(node))

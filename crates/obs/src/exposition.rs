@@ -1,0 +1,434 @@
+//! Parser for the Prometheus-text-style exposition the registry
+//! renders (and the `METRICS` verb serves).
+//!
+//! `kvtop` originally carried a private ad-hoc parser that split each
+//! line at its last space — good enough for shard-index labels, wrong
+//! the moment a label value contains a space or an escaped quote
+//! (which [`crate::registry`] legally emits via its label escaping).
+//! This module is the shared, correct replacement: it tokenizes label
+//! blocks with the full `\\` / `\"` / `\n` escape set, groups `# HELP`
+//! / `# TYPE` metadata into families, stops at `# EOF`, and offers the
+//! cumulative-bucket and label-scan helpers dashboards need.
+
+use std::collections::BTreeMap;
+
+/// One sample line: metric name, parsed (unescaped) labels in
+/// exposition order, and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric name (for histograms this is the suffixed series name,
+    /// e.g. `kv_stage_ns_bucket`).
+    pub name: String,
+    /// Label pairs, unescaped, in the order exposed.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf` map to the IEEE infinities).
+    pub value: f64,
+}
+
+impl Series {
+    fn has_labels(&self, want: &[(&str, &str)]) -> bool {
+        want.iter()
+            .all(|&(k, v)| self.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+
+    /// The value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// `# HELP` / `# TYPE` metadata for one metric family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Family {
+    /// The family's help text (empty if no `# HELP` line).
+    pub help: String,
+    /// The family's type (`counter`, `gauge`, `histogram`, …; empty
+    /// if no `# TYPE` line).
+    pub kind: String,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Every sample line, in document order.
+    pub series: Vec<Series>,
+    families: BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// Parses a document. Comment lines feed the family metadata, a
+    /// `# EOF` line ends the document (anything after it — e.g. the
+    /// next response on a pipelined wire — is ignored), and malformed
+    /// lines are skipped rather than failing the whole poll.
+    pub fn parse(doc: &str) -> Exposition {
+        let mut out = Exposition::default();
+        for line in doc.lines() {
+            let line = line.trim();
+            if line == "# EOF" {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim_start();
+                if let Some(meta) = rest.strip_prefix("HELP ") {
+                    if let Some((name, help)) = meta.split_once(' ') {
+                        out.families.entry(name.to_string()).or_default().help =
+                            unescape_help(help);
+                    }
+                } else if let Some(meta) = rest.strip_prefix("TYPE ") {
+                    if let Some((name, kind)) = meta.split_once(' ') {
+                        out.families.entry(name.to_string()).or_default().kind =
+                            kind.trim().to_string();
+                    }
+                }
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(series) = parse_sample(line) {
+                out.series.push(series);
+            }
+        }
+        out
+    }
+
+    /// The metadata of a family, if any `# HELP`/`# TYPE` line named
+    /// it.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.get(name)
+    }
+
+    /// Family names with metadata, in sorted order.
+    pub fn family_names(&self) -> impl Iterator<Item = &str> {
+        self.families.keys().map(String::as_str)
+    }
+
+    /// The value of the series with exactly this name whose labels
+    /// include every pair in `labels`.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.name == name && s.has_labels(labels))
+            .map(|s| s.value)
+    }
+
+    /// Label-free convenience lookup, defaulting to 0.0 — the shape
+    /// most dashboard reads want for counters and gauges.
+    pub fn get(&self, name: &str) -> f64 {
+        self.value(name, &[]).unwrap_or(0.0)
+    }
+
+    /// Cumulative histogram buckets of `name` (optionally restricted
+    /// to series carrying every label in `labels`): `(le, count)`
+    /// pairs sorted by bound, `+Inf` last.
+    pub fn buckets(&self, name: &str, labels: &[(&str, &str)]) -> Vec<(f64, f64)> {
+        let bucket_name = format!("{name}_bucket");
+        let mut out: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .filter(|s| s.name == bucket_name && s.has_labels(labels))
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                let le = match le {
+                    "+Inf" => f64::INFINITY,
+                    le => le.parse().ok()?,
+                };
+                Some((le, s.value))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Distinct values of one label across every series named `name`,
+    /// sorted. (`label_values("kv_shard_reads_total", "shard")` is how
+    /// dashboards discover the shard set.)
+    pub fn label_values(&self, name: &str, label: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .series
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| s.label(label).map(str::to_string))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// `(p50, p99)` over an **interval**: `earlier`'s cumulative buckets
+/// subtracted from `later`'s, with negative deltas clamped to zero so
+/// a counter reset (server restart) yields an empty interval instead
+/// of garbage quantiles. Returns `None` when the interval recorded
+/// nothing.
+pub fn interval_quantiles(
+    later: &Exposition,
+    earlier: &Exposition,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<(f64, f64)> {
+    let lb = later.buckets(name, labels);
+    let eb = earlier.buckets(name, labels);
+    if lb.is_empty() {
+        return None;
+    }
+    let delta: Vec<(f64, f64)> = lb
+        .iter()
+        .map(|&(le, c)| {
+            let prev = eb
+                .iter()
+                .find(|&&(ele, _)| ele == le)
+                .map_or(0.0, |&(_, ec)| ec);
+            (le, (c - prev).max(0.0))
+        })
+        .collect();
+    // Cumulative counts: the interval total is the +Inf bucket.
+    let total = delta.last().map_or(0.0, |&(_, c)| c);
+    if total <= 0.0 {
+        return None;
+    }
+    let q = |q: f64| -> f64 {
+        let rank = (total * q).ceil().max(1.0);
+        for &(le, c) in &delta {
+            if c >= rank {
+                return le;
+            }
+        }
+        f64::INFINITY
+    };
+    Some((q(0.50), q(0.99)))
+}
+
+/// Parses one sample line: `name value` or `name{k="v",…} value`.
+fn parse_sample(line: &str) -> Option<Series> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    if name_end == 0 {
+        return None;
+    }
+    let name = &line[..name_end];
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        parse_labels(body)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let value = match rest.trim() {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().ok()?,
+    };
+    Some(Series {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses a label block body (after the `{`), honouring the `\\`,
+/// `\"` and `\n` escapes inside quoted values. Returns the pairs and
+/// the remainder after the closing `}`.
+fn parse_labels(body: &str) -> Option<(Vec<(String, String)>, &str)> {
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices();
+    'pairs: loop {
+        // Key: up to `=` (or a bare `}` closing an empty block).
+        let mut key = String::new();
+        for (i, c) in chars.by_ref() {
+            match c {
+                '=' => break,
+                '}' if key.trim().is_empty() && labels.is_empty() => {
+                    return Some((labels, &body[i + 1..]));
+                }
+                ',' | ' ' if key.is_empty() => {}
+                _ => key.push(c),
+            }
+        }
+        // Value: a quoted string with escapes.
+        let (_, quote) = chars.next()?;
+        if quote != '"' {
+            return None;
+        }
+        let mut val = String::new();
+        loop {
+            let (_, c) = chars.next()?;
+            match c {
+                '\\' => match chars.next()?.1 {
+                    'n' => val.push('\n'),
+                    '\\' => val.push('\\'),
+                    '"' => val.push('"'),
+                    other => {
+                        // Unknown escape: keep both chars verbatim.
+                        val.push('\\');
+                        val.push(other);
+                    }
+                },
+                '"' => break,
+                c => val.push(c),
+            }
+        }
+        labels.push((key.trim().to_string(), val));
+        // Separator: `,` continues, `}` ends the block.
+        for (i, c) in chars.by_ref() {
+            match c {
+                ',' => continue 'pairs,
+                '}' => return Some((labels, &body[i + 1..])),
+                ' ' => {}
+                _ => return None,
+            }
+        }
+        return None;
+    }
+}
+
+/// Unescapes `# HELP` text (`\\` and `\n`).
+fn unescape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+# HELP kv_ops_total Total operations applied.
+# TYPE kv_ops_total counter
+kv_ops_total 42
+# HELP kv_shard_reads_total Reads per shard.
+# TYPE kv_shard_reads_total counter
+kv_shard_reads_total{shard=\"0\"} 10
+kv_shard_reads_total{shard=\"1\"} 30
+# HELP kv_stage_ns Per-stage batch latency.
+# TYPE kv_stage_ns histogram
+kv_stage_ns_bucket{stage=\"exec\",le=\"1000\"} 5
+kv_stage_ns_bucket{stage=\"exec\",le=\"8000\"} 9
+kv_stage_ns_bucket{stage=\"exec\",le=\"+Inf\"} 10
+kv_stage_ns_sum{stage=\"exec\"} 31000
+kv_stage_ns_count{stage=\"exec\"} 10
+kv_uptime_seconds 12.5
+";
+
+    #[test]
+    fn help_and_type_group_into_families() {
+        let e = Exposition::parse(DOC);
+        let fam = e.family("kv_ops_total").unwrap();
+        assert_eq!(fam.help, "Total operations applied.");
+        assert_eq!(fam.kind, "counter");
+        assert_eq!(e.family("kv_stage_ns").unwrap().kind, "histogram");
+        assert!(e.family("nope").is_none());
+        let names: Vec<&str> = e.family_names().collect();
+        assert_eq!(
+            names,
+            ["kv_ops_total", "kv_shard_reads_total", "kv_stage_ns"]
+        );
+    }
+
+    #[test]
+    fn values_and_label_lookups() {
+        let e = Exposition::parse(DOC);
+        assert_eq!(e.get("kv_ops_total"), 42.0);
+        assert_eq!(e.get("kv_uptime_seconds"), 12.5);
+        assert_eq!(e.get("missing_metric"), 0.0);
+        assert_eq!(
+            e.value("kv_shard_reads_total", &[("shard", "1")]),
+            Some(30.0)
+        );
+        assert_eq!(e.value("kv_shard_reads_total", &[("shard", "9")]), None);
+        assert_eq!(e.label_values("kv_shard_reads_total", "shard"), ["0", "1"]);
+    }
+
+    #[test]
+    fn cumulative_buckets_sorted_with_inf_last() {
+        let e = Exposition::parse(DOC);
+        let b = e.buckets("kv_stage_ns", &[("stage", "exec")]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], (1000.0, 5.0));
+        assert_eq!(b[1], (8000.0, 9.0));
+        assert!(b[2].0.is_infinite());
+        assert_eq!(b[2].1, 10.0);
+        // A label restriction that matches nothing yields no buckets.
+        assert!(e.buckets("kv_stage_ns", &[("stage", "flush")]).is_empty());
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let doc = r#"weird_metric{name="a\"b",path="c\\d",msg="x\ny"} 7"#;
+        let e = Exposition::parse(doc);
+        assert_eq!(e.series.len(), 1);
+        let s = &e.series[0];
+        assert_eq!(s.label("name"), Some("a\"b"));
+        assert_eq!(s.label("path"), Some("c\\d"));
+        assert_eq!(s.label("msg"), Some("x\ny"));
+        assert_eq!(s.value, 7.0);
+        // The old last-space splitter would have been confused by a
+        // label value containing a space; the tokenizer is not.
+        let spaced = Exposition::parse(r#"m{v="a b c"} 3"#);
+        assert_eq!(spaced.value("m", &[("v", "a b c")]), Some(3.0));
+    }
+
+    #[test]
+    fn eof_line_stops_the_parse() {
+        let doc = "a 1\n# EOF\nb 2\ngarbage that follows\n";
+        let e = Exposition::parse(doc);
+        assert_eq!(e.get("a"), 1.0);
+        assert_eq!(e.value("b", &[]), None, "nothing after # EOF counts");
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let doc =
+            "good 5\nno_value_here\n{orphan=\"labels\"} 2\nbad{unterminated=\"x 1\nalso_good 6\n";
+        let e = Exposition::parse(doc);
+        assert_eq!(e.get("good"), 5.0);
+        assert_eq!(e.get("also_good"), 6.0);
+        assert_eq!(e.series.len(), 2);
+    }
+
+    #[test]
+    fn interval_quantiles_subtract_and_clamp() {
+        let earlier = Exposition::parse(
+            "h_bucket{le=\"100\"} 2\nh_bucket{le=\"1000\"} 4\nh_bucket{le=\"+Inf\"} 4\n",
+        );
+        let later = Exposition::parse(
+            "h_bucket{le=\"100\"} 3\nh_bucket{le=\"1000\"} 10\nh_bucket{le=\"+Inf\"} 12\n",
+        );
+        let (p50, p99) = interval_quantiles(&later, &earlier, "h", &[]).unwrap();
+        // Interval deltas: le100=1, le1000=6, +Inf=8 → p50 rank 4 →
+        // le=1000; p99 rank 8 → +Inf.
+        assert_eq!(p50, 1000.0);
+        assert!(p99.is_infinite());
+        // Restart: later counts *below* earlier clamp to an empty
+        // interval rather than negative ranks.
+        assert!(interval_quantiles(&earlier, &later, "h", &[]).is_none());
+        // Nothing recorded between equal samples.
+        assert!(interval_quantiles(&later, &later, "h", &[]).is_none());
+    }
+
+    #[test]
+    fn infinities_parse_as_values() {
+        let e = Exposition::parse("up_bound +Inf\nlow_bound -Inf\n");
+        assert!(e.get("up_bound").is_infinite());
+        assert!(e.get("low_bound").is_infinite() && e.get("low_bound") < 0.0);
+    }
+}

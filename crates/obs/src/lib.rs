@@ -19,6 +19,17 @@
 //!   [`registry::Registry::exposition`] snapshots them all into one
 //!   Prometheus-text-style document (the `METRICS` wire command and
 //!   the `kvtop` dashboard are both thin clients of it).
+//! - [`span`]: **request-scoped span tracing** — a per-batch
+//!   [`span::SpanContext`] threaded through the conn → crew → shard →
+//!   WAL pipeline, attributing each batch's latency to pipeline
+//!   stages (including lock admission and passive-list cull residency
+//!   reported by the CR locks through thread-local accumulators).
+//! - [`slowlog`]: a fixed-capacity lock-free **slowlog ring** holding
+//!   the full stage breakdown of batches that exceeded the server's
+//!   threshold (the `SLOWLOG` wire verb reads it).
+//! - [`exposition`]: a parser for the registry's exposition format
+//!   (escaped labels, HELP/TYPE families, cumulative buckets) shared
+//!   by `kvtop` and anything else that consumes `METRICS`.
 //!
 //! The crate depends only on `malthus-metrics` (itself
 //! dependency-free), so every other crate in the workspace — core,
@@ -27,8 +38,13 @@
 
 #![warn(missing_docs)]
 
+pub mod exposition;
 pub mod recorder;
 pub mod registry;
+pub mod slowlog;
+pub mod span;
 
 pub use recorder::{record, EventKind};
 pub use registry::Registry;
+pub use slowlog::{SlowEntry, SlowRing};
+pub use span::{SpanContext, Stage};

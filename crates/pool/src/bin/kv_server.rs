@@ -36,6 +36,14 @@
 //! * `--trace-sample <n>` / `MALTHUS_KV_TRACE_SAMPLE` — record one
 //!   event in `n` (default 1 = every event); only meaningful with
 //!   `--trace-buf`.
+//! * `--slowlog-threshold-us <n>` /
+//!   `MALTHUS_KV_SLOWLOG_THRESHOLD_US` — batches whose end-to-end
+//!   latency meets the threshold land in the `SLOWLOG` ring with a
+//!   per-stage breakdown (default 10000 µs; 0 disables capture).
+//! * `--no-spans` / `MALTHUS_KV_NO_SPANS=1` — turn the per-batch
+//!   stage clocks off (`kv_stage_ns` and `SLOWLOG` stop collecting;
+//!   the remaining cost is one relaxed load per instrumentation
+//!   point).
 //!
 //! With restriction on, the crew's ACS target is
 //! `min(workers, cpus, shards)`: one hot lock pair deserves one
@@ -74,13 +82,16 @@ struct Options {
     read_timeout_secs: usize,
     trace_buf: usize,
     trace_sample: usize,
+    slowlog_threshold_us: u64,
+    no_spans: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: kv_server [--addr <host:port>] [--shards <n>] [--workers <n>] \
          [--queue <n>] [--unrestricted] [--data-dir <path>] [--no-wal] \
-         [--read-timeout-secs <n>] [--trace-buf <n>] [--trace-sample <n>]"
+         [--read-timeout-secs <n>] [--trace-buf <n>] [--trace-sample <n>] \
+         [--slowlog-threshold-us <n>] [--no-spans]"
     );
     std::process::exit(2);
 }
@@ -107,6 +118,13 @@ fn parse_args(cpus: usize) -> Options {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
         trace_sample: env_usize("MALTHUS_KV_TRACE_SAMPLE", 1),
+        // 0 means "slowlog capture off"; the default catches batches
+        // at or above 10 ms end to end.
+        slowlog_threshold_us: std::env::var("MALTHUS_KV_SLOWLOG_THRESHOLD_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(kv::DEFAULT_SLOWLOG_THRESHOLD_US),
+        no_spans: std::env::var("MALTHUS_KV_NO_SPANS").is_ok_and(|v| v == "1"),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -134,6 +152,16 @@ fn parse_args(cpus: usize) -> Options {
             "--read-timeout-secs" => opts.read_timeout_secs = positive("--read-timeout-secs"),
             "--trace-buf" => opts.trace_buf = positive("--trace-buf"),
             "--trace-sample" => opts.trace_sample = positive("--trace-sample"),
+            // 0 is meaningful here (capture off), so this one does
+            // not use the positive-integer helper.
+            "--slowlog-threshold-us" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(us) => opts.slowlog_threshold_us = us,
+                None => {
+                    eprintln!("kv_server: --slowlog-threshold-us needs an integer (0 disables)");
+                    usage();
+                }
+            },
+            "--no-spans" => opts.no_spans = true,
             _ => usage(),
         }
     }
@@ -165,6 +193,21 @@ fn main() {
         eprintln!(
             "# kv_server: flight recorder on: {} events/thread, 1-in-{} sampling",
             opts.trace_buf, opts.trace_sample
+        );
+    }
+
+    if opts.no_spans {
+        malthus_obs::span::set_enabled(false);
+        eprintln!("# kv_server: span tracing off (--no-spans)");
+    } else {
+        eprintln!(
+            "# kv_server: span tracing on, slowlog threshold {} µs{}",
+            opts.slowlog_threshold_us,
+            if opts.slowlog_threshold_us == 0 {
+                " (capture off)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -207,6 +250,8 @@ fn main() {
             ))
         }
     };
+
+    service.set_slowlog_threshold_us(opts.slowlog_threshold_us);
 
     let (listener, control) = kv::bind(&opts.addr).expect("bind listen address");
     println!("listening on {}", control.addr());

@@ -1,13 +1,24 @@
-//! `kvtop` — a refreshing terminal dashboard over the `METRICS` verb.
+//! `kvtop` — a refreshing terminal dashboard over the `METRICS` and
+//! `SLOWLOG` verbs.
 //!
 //! Polls a running `kv_server` for its unified Prometheus-text-style
-//! exposition and renders interval **rates** (ops/s, fsyncs/s,
-//! batches/s — diffed between polls) next to the admission picture
-//! (exclusive episodes per write, crew active/passive, hot-shard
-//! write share) and interval latency quantiles (batch size, batch
-//! drain, fsync — computed from histogram-bucket deltas). One row per
-//! shard shows how evenly traffic spreads and which shards have gone
-//! read-only.
+//! exposition (parsed with the shared [`malthus_obs::exposition`]
+//! parser) and renders interval **rates** (ops/s, fsyncs/s, batches/s
+//! — diffed between polls) next to the admission picture (exclusive
+//! episodes per write, crew active/passive, hot-shard write share),
+//! interval latency quantiles (batch size, batch drain, fsync —
+//! computed from histogram-bucket deltas), a per-stage **latency
+//! waterfall** (where the interval's batches spent their time:
+//! read → queue → lock_wait → cull_wait → exec → wal_fsync → flush),
+//! and the newest `SLOWLOG` entries with their stage breakdowns. One
+//! row per shard shows how evenly traffic spreads and which shards
+//! have gone read-only.
+//!
+//! A server restart between polls (detected by `kv_uptime_seconds`
+//! moving backwards) is flagged `[server restarted]` in the frame
+//! header; all interval math clamps the negative counter deltas a
+//! restart produces, so the frame degrades to zeros instead of
+//! rendering garbage rates.
 //!
 //! Flags (environment fallbacks in parentheses):
 //!
@@ -20,129 +31,90 @@
 //! * `--once` — render exactly one frame (two polls one interval
 //!   apart so rates are real) without clearing the screen; for
 //!   scripts and CI smoke tests.
+//! * `--slowlog <n>` — slowlog entries to display (default 5; 0
+//!   hides the panel and skips the `SLOWLOG` poll).
 
-use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
+use malthus_obs::exposition::{interval_quantiles, Exposition};
+use malthus_obs::span::{Stage, STAGE_COUNT};
 use malthus_pool::kv::{KvClient, DEFAULT_ADDR};
 
-/// One poll of the exposition: every series (name plus rendered label
-/// block, exactly as exposed) mapped to its value.
+/// One poll: the parsed exposition plus the raw slowlog document.
 struct Sample {
     at: Instant,
-    series: BTreeMap<String, f64>,
+    exp: Exposition,
+    slowlog: String,
 }
 
-impl Sample {
-    /// Parses an exposition document: `# ...` comment lines skipped,
-    /// every other line `name{labels} value` or `name value`.
-    fn parse(doc: &str, at: Instant) -> Sample {
-        let mut series = BTreeMap::new();
-        for line in doc.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            // The value is the text after the last space; the series
-            // key (name + label block) is everything before it. Label
-            // values never contain raw spaces in this exposition
-            // (shard indexes and lock names only).
-            let Some(split) = line.rfind(' ') else {
-                continue;
-            };
-            let (key, val) = line.split_at(split);
-            let val = val.trim();
-            let parsed = match val {
-                "+Inf" => f64::INFINITY,
-                "-Inf" => f64::NEG_INFINITY,
-                v => match v.parse() {
-                    Ok(f) => f,
-                    Err(_) => continue,
-                },
-            };
-            series.insert(key.trim_end().to_string(), parsed);
+/// One `SLOWLOG` entry re-parsed from the wire breakdown line.
+struct SlowRow {
+    batch: u64,
+    ops: u64,
+    total_ns: u64,
+    stage_ns: [u64; STAGE_COUNT],
+}
+
+/// Parses the `SLOWLOG` document: a `SLOWLOG entries=… inserted=…
+/// threshold_us=…` header, one `BATCH …` line per entry (newest
+/// first), `# EOF`. Unknown or malformed lines are skipped.
+fn parse_slowlog(doc: &str) -> (Vec<SlowRow>, u64, u64) {
+    let mut rows = Vec::new();
+    let mut inserted = 0;
+    let mut threshold_us = 0;
+    for line in doc.lines() {
+        let line = line.trim();
+        if line == "# EOF" {
+            break;
         }
-        Sample { at, series }
-    }
-
-    fn get(&self, key: &str) -> f64 {
-        self.series.get(key).copied().unwrap_or(0.0)
-    }
-
-    /// Cumulative histogram buckets of a label-free histogram:
-    /// `(le, count)` pairs sorted by bound.
-    fn buckets(&self, name: &str) -> Vec<(f64, f64)> {
-        let prefix = format!("{name}_bucket{{le=\"");
-        let mut out: Vec<(f64, f64)> = self
-            .series
-            .iter()
-            .filter_map(|(k, &v)| {
-                let le = k.strip_prefix(&prefix)?.strip_suffix("\"}")?;
-                let le = match le {
-                    "+Inf" => f64::INFINITY,
-                    le => le.parse().ok()?,
-                };
-                Some((le, v))
-            })
-            .collect();
-        out.sort_by(|a, b| a.0.total_cmp(&b.0));
-        out
-    }
-
-    /// Shard indexes present in the exposition, from the per-shard
-    /// read counter family.
-    fn shards(&self) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .series
-            .keys()
-            .filter_map(|k| {
-                k.strip_prefix("kv_shard_reads_total{shard=\"")?
-                    .strip_suffix("\"}")?
-                    .parse()
-                    .ok()
-            })
-            .collect();
-        out.sort_unstable();
-        out
-    }
-}
-
-/// `(p50, p99)` over the **interval**: the earlier sample's
-/// cumulative buckets are subtracted from the later's, so the
-/// quantiles describe what happened between the two polls. Returns
-/// `None` when the interval recorded nothing.
-fn interval_quantiles(later: &Sample, earlier: &Sample, name: &str) -> Option<(f64, f64)> {
-    let lb = later.buckets(name);
-    let eb = earlier.buckets(name);
-    if lb.is_empty() {
-        return None;
-    }
-    let delta: Vec<(f64, f64)> = lb
+        if let Some(header) = line.strip_prefix("SLOWLOG ") {
+            for field in header.split_whitespace() {
+                if let Some(v) = field.strip_prefix("inserted=") {
+                    inserted = v.parse().unwrap_or(0);
+                } else if let Some(v) = field.strip_prefix("threshold_us=") {
+                    threshold_us = v.parse().unwrap_or(0);
+                }
+            }
+            continue;
+        }
+        if !line.starts_with("BATCH ") {
+            continue;
+        }
+        // `BATCH <id> OPS <n> TOTAL_NS <t> READ_NS <r> …` — keyword
+        // value pairs in a fixed order; parse them positionally but
+        // keyed, so an extra field added later cannot shift the rest.
+        let mut fields = std::collections::BTreeMap::new();
+        let mut toks = line.split_whitespace();
+        while let (Some(k), Some(v)) = (toks.next(), toks.next()) {
+            if let Ok(v) = v.parse::<u64>() {
+                fields.insert(k, v);
+            }
+        }
+        let get = |k: &str| fields.get(k).copied().unwrap_or(0);
+        let mut stage_ns = [0u64; STAGE_COUNT];
+        for (i, key) in [
+            "READ_NS",
+            "QUEUE_NS",
+            "LOCK_WAIT_NS",
+            "CULL_WAIT_NS",
+            "EXEC_NS",
+            "WAL_FSYNC_NS",
+            "FLUSH_NS",
+        ]
         .iter()
-        .map(|&(le, c)| {
-            let prev = eb
-                .iter()
-                .find(|&&(ele, _)| ele == le)
-                .map_or(0.0, |&(_, ec)| ec);
-            (le, (c - prev).max(0.0))
-        })
-        .collect();
-    // Cumulative counts: the total is the +Inf bucket (the last).
-    let total = delta.last().map_or(0.0, |&(_, c)| c);
-    if total <= 0.0 {
-        return None;
-    }
-    let q = |q: f64| -> f64 {
-        let rank = (total * q).ceil().max(1.0);
-        for &(le, c) in &delta {
-            if c >= rank {
-                return le;
-            }
+        .enumerate()
+        {
+            stage_ns[i] = get(key);
         }
-        f64::INFINITY
-    };
-    Some((q(0.50), q(0.99)))
+        rows.push(SlowRow {
+            batch: get("BATCH"),
+            ops: get("OPS"),
+            total_ns: get("TOTAL_NS"),
+            stage_ns,
+        });
+    }
+    (rows, inserted, threshold_us)
 }
 
 /// Renders nanoseconds human-readably (the fsync/drain histograms) —
@@ -168,79 +140,165 @@ fn fmt_quantiles_ns(q: Option<(f64, f64)>) -> String {
     }
 }
 
-/// Per-second rate of a cumulative counter over the poll interval.
-fn rate(later: &Sample, earlier: &Sample, key: &str) -> f64 {
+/// Per-second rate of a cumulative (possibly labelled) counter over
+/// the poll interval. Negative deltas (counter reset after a server
+/// restart) clamp to zero.
+fn rate(later: &Sample, earlier: &Sample, name: &str, labels: &[(&str, &str)]) -> f64 {
     let secs = later.at.duration_since(earlier.at).as_secs_f64();
     if secs <= 0.0 {
         return 0.0;
     }
-    (later.get(key) - earlier.get(key)).max(0.0) / secs
+    let l = later.exp.value(name, labels).unwrap_or(0.0);
+    let e = earlier.exp.value(name, labels).unwrap_or(0.0);
+    (l - e).max(0.0) / secs
+}
+
+fn shard_label(i: &str) -> [(&str, &str); 1] {
+    [("shard", i)]
+}
+
+/// The per-stage waterfall: one row per pipeline stage with the
+/// interval's p50/p99 and a bar proportional to p99 (log-ish visual:
+/// linear against the slowest stage of this frame).
+fn render_waterfall(f: &mut String, later: &Sample, earlier: &Sample) {
+    use std::fmt::Write as _;
+    let quantiles: Vec<(Stage, Option<(f64, f64)>)> = Stage::ALL
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                interval_quantiles(
+                    &later.exp,
+                    &earlier.exp,
+                    "kv_stage_ns",
+                    &[("stage", s.as_str())],
+                ),
+            )
+        })
+        .collect();
+    let max_p99 = quantiles
+        .iter()
+        .filter_map(|(_, q)| q.map(|(_, p99)| p99))
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(f, "stage waterfall (interval p50/p99)");
+    for (stage, q) in &quantiles {
+        const BAR: usize = 24;
+        let bar = match q {
+            Some((_, p99)) if max_p99 > 0.0 => {
+                let frac = if p99.is_finite() { p99 / max_p99 } else { 1.0 };
+                let n = ((frac * BAR as f64).round() as usize).clamp(1, BAR);
+                "#".repeat(n)
+            }
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            f,
+            "  {:>9} {:>17}  {bar}",
+            stage.as_str(),
+            fmt_quantiles_ns(*q),
+        );
+    }
+}
+
+/// The newest slowlog entries, with each batch's dominant stage named
+/// so a glance answers "slow *where*".
+fn render_slowlog(f: &mut String, later: &Sample, show: usize) {
+    use std::fmt::Write as _;
+    let (rows, inserted, threshold_us) = parse_slowlog(&later.slowlog);
+    let _ = writeln!(
+        f,
+        "slowlog (threshold {threshold_us}us, {inserted} captured, newest first)"
+    );
+    if rows.is_empty() {
+        let _ = writeln!(f, "  (empty)");
+        return;
+    }
+    let _ = writeln!(
+        f,
+        "  {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9}  worst stage",
+        "batch", "ops", "total", "read", "lockwait", "exec", "fsync"
+    );
+    for row in rows.iter().take(show) {
+        let (worst_idx, worst_ns) = row
+            .stage_ns
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &ns)| ns)
+            .map(|(i, &ns)| (i, ns))
+            .unwrap_or((0, 0));
+        let _ = writeln!(
+            f,
+            "  {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9}  {} ({})",
+            row.batch,
+            row.ops,
+            fmt_ns(row.total_ns as f64),
+            fmt_ns(row.stage_ns[Stage::Read as usize] as f64),
+            fmt_ns(row.stage_ns[Stage::LockWait as usize] as f64),
+            fmt_ns(row.stage_ns[Stage::Exec as usize] as f64),
+            fmt_ns(row.stage_ns[Stage::WalFsync as usize] as f64),
+            Stage::ALL[worst_idx].as_str(),
+            fmt_ns(worst_ns as f64),
+        );
+    }
 }
 
 /// One rendered frame. Built as a string so the caller can write it
 /// in one syscall and shrug off a closed stdout (`kvtop | head`).
-fn render(later: &Sample, earlier: &Sample, addr: &SocketAddr, frame: u64) -> String {
+fn render(
+    later: &Sample,
+    earlier: &Sample,
+    addr: &SocketAddr,
+    frame: u64,
+    slowlog: usize,
+) -> String {
     use std::fmt::Write as _;
     let mut f = String::new();
-    let reads_s: f64 = later
-        .shards()
-        .iter()
-        .map(|i| {
-            rate(
-                later,
-                earlier,
-                &format!("kv_shard_reads_total{{shard=\"{i}\"}}"),
-            )
-        })
-        .sum();
-    let writes_s: f64 = later
-        .shards()
-        .iter()
-        .map(|i| {
-            rate(
-                later,
-                earlier,
-                &format!("kv_shard_writes_total{{shard=\"{i}\"}}"),
-            )
-        })
-        .sum();
-    let fsyncs_s: f64 = later
-        .shards()
-        .iter()
-        .map(|i| {
-            rate(
-                later,
-                earlier,
-                &format!("kv_shard_wal_syncs_total{{shard=\"{i}\"}}"),
-            )
-        })
-        .sum();
-    let wepis_s: f64 = later
-        .shards()
-        .iter()
-        .map(|i| {
-            rate(
-                later,
-                earlier,
-                &format!("lock_write_episodes_total{{lock=\"db\",shard=\"{i}\"}}"),
-            )
-        })
-        .sum();
+    let shards = later.exp.label_values("kv_shard_reads_total", "shard");
+    let sum_rate = |name: &str| -> f64 {
+        shards
+            .iter()
+            .map(|i| rate(later, earlier, name, &shard_label(i)))
+            .sum()
+    };
+    let sum_db_rate = |name: &str| -> f64 {
+        shards
+            .iter()
+            .map(|i| rate(later, earlier, name, &[("lock", "db"), ("shard", i)]))
+            .sum()
+    };
+    let reads_s = sum_rate("kv_shard_reads_total");
+    let writes_s = sum_rate("kv_shard_writes_total");
+    let fsyncs_s = sum_rate("kv_shard_wal_syncs_total");
+    let wepis_s = sum_db_rate("lock_write_episodes_total");
     let excl_per_write = if writes_s > 0.0 {
         wepis_s / writes_s
     } else {
         0.0
     };
-    let readonly: f64 = later
-        .shards()
+    let readonly: f64 = shards
         .iter()
-        .map(|i| later.get(&format!("kv_shard_readonly{{shard=\"{i}\"}}")))
+        .map(|i| {
+            later
+                .exp
+                .value("kv_shard_readonly", &shard_label(i))
+                .unwrap_or(0.0)
+        })
         .sum();
+    // Uptime moving backwards means the process we polled last time
+    // is not the process we polled this time.
+    let restarted = later.exp.get("kv_uptime_seconds") < earlier.exp.get("kv_uptime_seconds");
 
     let _ = writeln!(
         f,
-        "kvtop — {addr} — frame {frame} — interval {:.1}s",
-        later.at.duration_since(earlier.at).as_secs_f64()
+        "kvtop — {addr} — frame {frame} — interval {:.1}s — up {:.0}s{}",
+        later.at.duration_since(earlier.at).as_secs_f64(),
+        later.exp.get("kv_uptime_seconds"),
+        if restarted {
+            "  [server restarted]"
+        } else {
+            ""
+        },
     );
     let _ = writeln!(
         f,
@@ -248,64 +306,74 @@ fn render(later: &Sample, earlier: &Sample, addr: &SocketAddr, frame: u64) -> St
         reads_s + writes_s,
         reads_s,
         writes_s,
-        rate(later, earlier, "kv_pipeline_batches_total"),
+        rate(later, earlier, "kv_pipeline_batches_total", &[]),
     );
     let _ = writeln!(
         f,
         "excl episodes/write {:>6.3}   fsyncs/s {:>8.0}   fsync p50/p99 {}",
         excl_per_write,
         fsyncs_s,
-        fmt_quantiles_ns(interval_quantiles(later, earlier, "kv_wal_fsync_ns")),
+        fmt_quantiles_ns(interval_quantiles(
+            &later.exp,
+            &earlier.exp,
+            "kv_wal_fsync_ns",
+            &[]
+        )),
     );
-    let batch_q = interval_quantiles(later, earlier, "kv_pipeline_batch_size")
+    let batch_q = interval_quantiles(&later.exp, &earlier.exp, "kv_pipeline_batch_size", &[])
         .map_or("-/-".to_string(), |(p50, p99)| format!("{p50:.0}/{p99:.0}"));
     let _ = writeln!(
         f,
         "batch size p50/p99 {batch_q}   max batch {:.0}   drain p50/p99 {}",
-        later.get("kv_pipeline_max_batch"),
-        fmt_quantiles_ns(interval_quantiles(later, earlier, "kv_batch_drain_ns")),
+        later.exp.get("kv_pipeline_max_batch"),
+        fmt_quantiles_ns(interval_quantiles(
+            &later.exp,
+            &earlier.exp,
+            "kv_batch_drain_ns",
+            &[]
+        )),
     );
     let _ = writeln!(
         f,
         "crew active {:.0}  passive {:.0}  backlog {:.0}   hot-shard write share {:.2}   \
          readonly shards {readonly:.0}   idle disconnects {:.0}",
-        later.get("crew_active_workers"),
-        later.get("crew_passive_workers"),
-        later.get("crew_backlog"),
-        later.get("kv_hottest_shard_write_share"),
-        later.get("kv_idle_disconnects_total"),
+        later.exp.get("crew_active_workers"),
+        later.exp.get("crew_passive_workers"),
+        later.exp.get("crew_backlog"),
+        later.exp.get("kv_hottest_shard_write_share"),
+        later.exp.get("kv_idle_disconnects_total"),
     );
+    render_waterfall(&mut f, later, earlier);
+    if slowlog > 0 {
+        render_slowlog(&mut f, later, slowlog);
+    }
     let _ = writeln!(
         f,
         "{:>5} {:>10} {:>10} {:>9} {:>9} {:>10}",
         "shard", "reads/s", "writes/s", "wepis/s", "fsyncs/s", "keys"
     );
-    for i in later.shards() {
-        let ro = later.get(&format!("kv_shard_readonly{{shard=\"{i}\"}}")) > 0.0;
+    for i in &shards {
+        let ro = later
+            .exp
+            .value("kv_shard_readonly", &shard_label(i))
+            .unwrap_or(0.0)
+            > 0.0;
         let _ = writeln!(
             f,
             "{i:>5} {:>10.0} {:>10.0} {:>9.0} {:>9.0} {:>10.0}{}",
+            rate(later, earlier, "kv_shard_reads_total", &shard_label(i)),
+            rate(later, earlier, "kv_shard_writes_total", &shard_label(i)),
             rate(
                 later,
                 earlier,
-                &format!("kv_shard_reads_total{{shard=\"{i}\"}}")
+                "lock_write_episodes_total",
+                &[("lock", "db"), ("shard", i)]
             ),
-            rate(
-                later,
-                earlier,
-                &format!("kv_shard_writes_total{{shard=\"{i}\"}}")
-            ),
-            rate(
-                later,
-                earlier,
-                &format!("lock_write_episodes_total{{lock=\"db\",shard=\"{i}\"}}")
-            ),
-            rate(
-                later,
-                earlier,
-                &format!("kv_shard_wal_syncs_total{{shard=\"{i}\"}}")
-            ),
-            later.get(&format!("kv_shard_keys{{shard=\"{i}\"}}")),
+            rate(later, earlier, "kv_shard_wal_syncs_total", &shard_label(i)),
+            later
+                .exp
+                .value("kv_shard_keys", &shard_label(i))
+                .unwrap_or(0.0),
             if ro { "  READONLY" } else { "" },
         );
     }
@@ -313,7 +381,10 @@ fn render(later: &Sample, earlier: &Sample, addr: &SocketAddr, frame: u64) -> St
 }
 
 fn usage() -> ! {
-    eprintln!("usage: kvtop [--addr <host:port>] [--interval-ms <n>] [--frames <n>] [--once]");
+    eprintln!(
+        "usage: kvtop [--addr <host:port>] [--interval-ms <n>] [--frames <n>] [--once] \
+         [--slowlog <n>]"
+    );
     std::process::exit(2);
 }
 
@@ -325,6 +396,7 @@ fn main() {
         .unwrap_or(1_000);
     let mut frames: u64 = 0;
     let mut once = false;
+    let mut slowlog: usize = 5;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -341,6 +413,10 @@ fn main() {
                 None => usage(),
             },
             "--once" => once = true,
+            "--slowlog" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => slowlog = n,
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -358,7 +434,18 @@ fn main() {
         let doc = client
             .fetch_document("METRICS")
             .unwrap_or_else(|e| panic!("METRICS poll failed: {e}"));
-        Sample::parse(&doc, Instant::now())
+        let slowdoc = if slowlog > 0 {
+            client
+                .fetch_document(&format!("SLOWLOG {slowlog}"))
+                .unwrap_or_else(|e| panic!("SLOWLOG poll failed: {e}"))
+        } else {
+            String::new()
+        };
+        Sample {
+            at: Instant::now(),
+            exp: Exposition::parse(&doc),
+            slowlog: slowdoc,
+        }
     };
 
     let mut earlier = poll(&mut client);
@@ -372,7 +459,7 @@ fn main() {
             // Clear + home: a refreshing dashboard, not a scroll.
             text.push_str("\x1b[2J\x1b[H");
         }
-        text.push_str(&render(&later, &earlier, &addr, frame));
+        text.push_str(&render(&later, &earlier, &addr, frame, slowlog));
         // A closed stdout (`kvtop | head`) ends the dashboard
         // quietly instead of panicking mid-print.
         use std::io::Write as _;

@@ -35,6 +35,8 @@
 //! | `STATS` | `STATS reads=<n> writes=<n> ... shards=<n>` |
 //! | `METRICS` | the full metrics exposition, then a `# EOF` line |
 //! | `TRACE DUMP` | flight-recorder JSON lines, then a `# EOF` line |
+//! | `SLOWLOG [n]` | slow-batch stage breakdowns, then a `# EOF` line |
+//! | `SLOWLOG RESET` | `OK` (hides all current slowlog entries) |
 //! | `SHUTDOWN` | `OK` then the server stops accepting |
 //! | `QUIT` | connection closes |
 //! | anything else | `ERR <reason>` |
@@ -104,6 +106,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use malthus_metrics::LatencyHistogram;
+use malthus_obs::span::{self, Stage, STAGE_COUNT};
+use malthus_obs::{SlowEntry, SlowRing, SpanContext};
 use malthus_storage::{BatchOp, BatchReply, RecoveryReport, ShardedKv, WriteError};
 
 use crate::crew::WorkCrew;
@@ -126,6 +130,15 @@ pub const DEFAULT_SHARDS: usize = 1;
 /// worker executing it). The raw line is still read unbounded before
 /// parsing, like every other verb's.
 pub const MAX_BATCH_KEYS: usize = 1_024;
+/// Slowlog ring capacity: the newest this many slow batches are
+/// retained for `SLOWLOG` to read back.
+pub const SLOWLOG_CAPACITY: usize = 128;
+/// Entries a bare `SLOWLOG` (no count) returns.
+pub const DEFAULT_SLOWLOG_ENTRIES: usize = 16;
+/// Default slowlog threshold in microseconds: batches slower than
+/// this end-to-end land in the slowlog (`kv_server
+/// --slowlog-threshold-us` overrides; 0 disables).
+pub const DEFAULT_SLOWLOG_THRESHOLD_US: u64 = 10_000;
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,6 +163,12 @@ pub enum Request {
     /// `TRACE DUMP` — the flight recorder's merged JSON lines,
     /// terminated by a `# EOF` line.
     TraceDump,
+    /// `SLOWLOG [n]` — the newest `n` slow-batch stage breakdowns
+    /// (default [`DEFAULT_SLOWLOG_ENTRIES`]), newest first,
+    /// terminated by a `# EOF` line.
+    Slowlog(usize),
+    /// `SLOWLOG RESET` — hides every current slowlog entry.
+    SlowlogReset,
     /// `SHUTDOWN`
     Shutdown,
     /// `QUIT`
@@ -201,6 +220,14 @@ impl Request {
                 Some("DUMP") => Request::TraceDump,
                 Some(other) => return Err(format!("unknown TRACE subcommand {other}")),
                 None => return Err("TRACE needs a subcommand (DUMP)".to_string()),
+            },
+            "SLOWLOG" => match parts.next() {
+                None => Request::Slowlog(DEFAULT_SLOWLOG_ENTRIES),
+                Some("RESET") => Request::SlowlogReset,
+                Some(n) => Request::Slowlog(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("SLOWLOG count must be an integer, got {n:?}"))?,
+                ),
             },
             "SHUTDOWN" => Request::Shutdown,
             "QUIT" => Request::Quit,
@@ -382,6 +409,16 @@ pub struct KvService {
     pipeline: Arc<PipelineStats>,
     idle_disconnects: Arc<AtomicU64>,
     registry: malthus_obs::Registry,
+    /// Per-stage batch latency histograms, indexed by `Stage as
+    /// usize` — the `kv_stage_ns{stage=…}` family.
+    stage_hists: [Arc<LatencyHistogram>; STAGE_COUNT],
+    /// Slow batches' full stage breakdowns (the `SLOWLOG` verb).
+    slowlog: Arc<SlowRing>,
+    /// End-to-end nanoseconds above which a batch lands in the
+    /// slowlog; 0 disables.
+    slowlog_threshold_ns: AtomicU64,
+    /// Service-wide batch id sequence (span identity).
+    batch_seq: AtomicU64,
 }
 
 impl KvService {
@@ -446,11 +483,52 @@ impl KvService {
                 move || idle.load(Ordering::Relaxed),
             );
         }
+        let stage_hists: [Arc<LatencyHistogram>; STAGE_COUNT] =
+            std::array::from_fn(|_| Arc::new(LatencyHistogram::new()));
+        for stage in Stage::ALL {
+            let h = Arc::clone(&stage_hists[stage as usize]);
+            registry.histogram(
+                "kv_stage_ns",
+                "Per-batch latency attributed to one pipeline stage (span tracing)",
+                &[("stage", stage.as_str())],
+                move || h.snapshot(),
+            );
+        }
+        let slowlog = Arc::new(SlowRing::new(SLOWLOG_CAPACITY));
+        {
+            let sl = Arc::clone(&slowlog);
+            registry.counter(
+                "kv_slowlog_inserted_total",
+                "Batches that exceeded the slowlog threshold since start",
+                &[],
+                move || sl.inserted(),
+            );
+            // Dashboards (kvtop) watch this gauge *decrease* to detect
+            // a server restart, i.e. that every cumulative counter
+            // above just reset to zero.
+            let started = Instant::now();
+            registry.gauge(
+                "kv_uptime_seconds",
+                "Seconds since this service was created",
+                &[],
+                move || started.elapsed().as_secs_f64(),
+            );
+            registry.gauge(
+                "kv_build_info",
+                "Build identity: the value is always 1, the labels are the payload",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+                || 1.0,
+            );
+        }
         KvService {
             store,
             pipeline,
             idle_disconnects,
             registry,
+            stage_hists,
+            slowlog,
+            slowlog_threshold_ns: AtomicU64::new(DEFAULT_SLOWLOG_THRESHOLD_US * 1_000),
+            batch_seq: AtomicU64::new(0),
         }
     }
 
@@ -493,6 +571,51 @@ impl KvService {
     /// replace-on-same-name-and-labels, so re-wiring is idempotent.
     pub fn registry(&self) -> &malthus_obs::Registry {
         &self.registry
+    }
+
+    /// Sets the slowlog threshold: batches slower than `us`
+    /// microseconds end-to-end retain their stage breakdown for
+    /// `SLOWLOG`. 0 disables the slowlog (stage histograms still
+    /// collect).
+    pub fn set_slowlog_threshold_us(&self, us: u64) {
+        self.slowlog_threshold_ns
+            .store(us.saturating_mul(1_000), Ordering::Relaxed);
+    }
+
+    /// The current slowlog threshold in microseconds (0 = disabled).
+    pub fn slowlog_threshold_us(&self) -> u64 {
+        self.slowlog_threshold_ns.load(Ordering::Relaxed) / 1_000
+    }
+
+    /// The slowlog ring behind the `SLOWLOG` verb.
+    pub fn slowlog(&self) -> &SlowRing {
+        &self.slowlog
+    }
+
+    /// Allocates the next service-wide batch id (1-based; `SLOWLOG`
+    /// entries cite it).
+    pub fn next_batch_id(&self) -> u64 {
+        self.batch_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(1)
+    }
+
+    /// Closes a finished batch's span: stamps the end-to-end total,
+    /// folds every stage duration into the `kv_stage_ns` histograms,
+    /// and — when the total meets the slowlog threshold — retains the
+    /// full breakdown in the slowlog ring. A detached span is a no-op.
+    pub fn finish_span(&self, span: &mut SpanContext) {
+        if !span.is_active() {
+            return;
+        }
+        let total = span.finish();
+        for stage in Stage::ALL {
+            self.stage_hists[stage as usize].record_ns(span.get(stage));
+        }
+        let threshold = self.slowlog_threshold_ns.load(Ordering::Relaxed);
+        if threshold > 0 && total >= threshold {
+            self.slowlog.push(&SlowEntry::from_span(span));
+        }
     }
 
     /// Inserts or updates a key (exclusive access to its shard only).
@@ -622,6 +745,43 @@ impl KvService {
                 out.push_str(&malthus_obs::recorder::dump());
                 out.push_str("# EOF");
             }
+            Request::Slowlog(n) => {
+                // Multi-line response: a header, then one breakdown
+                // line per retained slow batch (newest first),
+                // `# EOF`-terminated.
+                let entries = self.slowlog.recent(*n);
+                let _ = writeln!(
+                    out,
+                    "SLOWLOG entries={} inserted={} threshold_us={}",
+                    entries.len(),
+                    self.slowlog.inserted(),
+                    self.slowlog_threshold_us(),
+                );
+                for e in &entries {
+                    let s = &e.stage_ns;
+                    let _ = writeln!(
+                        out,
+                        "BATCH {} OPS {} TOTAL_NS {} READ_NS {} QUEUE_NS {} \
+                         LOCK_WAIT_NS {} CULL_WAIT_NS {} EXEC_NS {} \
+                         WAL_FSYNC_NS {} FLUSH_NS {}",
+                        e.batch_id,
+                        e.ops,
+                        e.total_ns,
+                        s[Stage::Read as usize],
+                        s[Stage::Queue as usize],
+                        s[Stage::LockWait as usize],
+                        s[Stage::CullWait as usize],
+                        s[Stage::Exec as usize],
+                        s[Stage::WalFsync as usize],
+                        s[Stage::Flush as usize],
+                    );
+                }
+                out.push_str("# EOF");
+            }
+            Request::SlowlogReset => {
+                self.slowlog.reset();
+                out.push_str("OK");
+            }
             Request::Shutdown | Request::Quit => out.push_str("OK"),
         }
     }
@@ -666,6 +826,30 @@ impl KvService {
     /// single-op paths — the pre-pipelining hot path, allocation-free
     /// on GET/PUT.
     pub fn apply_batch(&self, batch: &[Parsed], crew: &WorkCrew, out: &mut String) {
+        self.apply_batch_span(batch, crew, out, &mut SpanContext::detached());
+    }
+
+    /// [`KvService::apply_batch`] with span tracing. The batch's lock
+    /// admission and cull-residency waits are drained from the crew
+    /// worker's thread-local accumulators (reset on entry so stale
+    /// waits from unrelated prior work cannot pollute this batch),
+    /// its group-commit fsyncs flow in through
+    /// [`ShardedKv::execute_batch_span`], and whatever execution time
+    /// remains after subtracting those becomes the `exec` stage — so
+    /// the stage sum tracks the batch's wall time by construction.
+    pub fn apply_batch_span(
+        &self,
+        batch: &[Parsed],
+        crew: &WorkCrew,
+        out: &mut String,
+        span: &mut SpanContext,
+    ) {
+        let t0 = if span.is_active() {
+            span::take_waits(); // discard waits that are not ours
+            span::now_ns()
+        } else {
+            0
+        };
         let mut i = 0;
         while i < batch.len() {
             // Collect the maximal run of batchable data ops at i.
@@ -684,7 +868,7 @@ impl KvService {
                         _ => unreachable!("run contains only data ops"),
                     })
                     .collect();
-                let replies = self.store.execute_batch(&ops);
+                let replies = self.store.execute_batch_span(&ops, span);
                 for (p, reply) in batch[i..run_end].iter().zip(&replies) {
                     write_tag(out, p.tag);
                     Self::render_batch_reply(out, reply);
@@ -703,6 +887,21 @@ impl KvService {
             }
             out.push('\n');
             i += 1;
+        }
+        if t0 != 0 {
+            let elapsed = span::now_ns().saturating_sub(t0);
+            let (lock_wait, cull_wait) = span::take_waits();
+            span.add(Stage::LockWait, lock_wait);
+            span.add(Stage::CullWait, cull_wait);
+            // Exec = everything else this batch did on the worker:
+            // elapsed minus admission, cull residency and fsyncs. The
+            // subtraction (rather than timing each op) keeps the hot
+            // loop clock-free and makes the stages partition the
+            // batch's execution window exactly.
+            span.add(
+                Stage::Exec,
+                elapsed.saturating_sub(lock_wait + cull_wait + span.get(Stage::WalFsync)),
+            );
         }
     }
 }
@@ -933,6 +1132,15 @@ fn handle_connection(
             Err(_) => break,
             Ok(_) => {}
         }
+        // Span tracing: the batch's span is born here, right after the
+        // blocking read delivered the first byte — so the Read stage
+        // covers drain + parse, never the idle wait for traffic.
+        let mut span = if span::enabled() {
+            SpanContext::start(0, 0) // identity assigned at submit
+        } else {
+            SpanContext::detached()
+        };
+        let read_t0 = if span.is_active() { span::now_ns() } else { 0 };
         // Drain-per-wakeup: after the blocking read above, every
         // further *complete* line already sitting in the BufReader
         // joins this batch — a pipelined burst mostly arrives in one
@@ -970,6 +1178,10 @@ fn handle_connection(
             let n = batch.len() as u64;
             service.pipeline_stats().note_batch(n);
             conn_hist.record_ns(n);
+            span.set_identity(service.next_batch_id(), n as u32);
+            if read_t0 != 0 {
+                span.add(Stage::Read, span::now_ns().saturating_sub(read_t0));
+            }
             // One crew task per batch: the batch is the admission
             // unit. The channel returns the buffers for reuse and
             // doubles as the completion signal — the reader keeps a
@@ -983,14 +1195,25 @@ fn handle_connection(
             let writer_task = Arc::clone(&writer);
             let mut reqs = std::mem::take(&mut batch);
             let mut buf = std::mem::take(&mut out);
+            let submit_ns = if span.is_active() { span::now_ns() } else { 0 };
             let submitted = crew.submit(move || {
+                // Queue stage: submit → this task actually starting on
+                // a crew worker (crew backlog + admission).
+                if submit_ns != 0 {
+                    span.add(Stage::Queue, span::now_ns().saturating_sub(submit_ns));
+                }
                 buf.clear();
                 let drain_start = Instant::now();
-                service_task.apply_batch(&reqs, &crew_task, &mut buf);
+                service_task.apply_batch_span(&reqs, &crew_task, &mut buf, &mut span);
                 let drain_ns = drain_start.elapsed().as_nanos() as u64;
                 service_task.pipeline_stats().note_drain_ns(drain_ns);
                 // All of the batch's responses leave in one write.
+                let flush_t0 = if span.is_active() { span::now_ns() } else { 0 };
                 let _ = write_all(&writer_task, buf.as_bytes());
+                if flush_t0 != 0 {
+                    span.add(Stage::Flush, span::now_ns().saturating_sub(flush_t0));
+                }
+                service_task.finish_span(&mut span);
                 reqs.clear();
                 let _ = tx.send((reqs, buf));
             });
@@ -1370,10 +1593,154 @@ mod tests {
             "kv_batch_drain_ns_count",
             "kv_hottest_shard_write_share",
             "kv_idle_disconnects_total 0",
+            "# TYPE kv_stage_ns histogram",
+            "kv_stage_ns_bucket{stage=\"lock_wait\",le=",
+            "kv_stage_ns_count{stage=\"exec\"}",
+            "kv_slowlog_inserted_total 0",
+            "kv_uptime_seconds",
+            "kv_build_info{version=\"",
         ] {
             assert!(doc.contains(needle), "missing {needle:?} in:\n{doc}");
         }
         assert!(doc.ends_with("# EOF"), "{doc}");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn parse_slowlog_grammar() {
+        assert_eq!(
+            Request::parse("SLOWLOG"),
+            Ok(Request::Slowlog(DEFAULT_SLOWLOG_ENTRIES))
+        );
+        assert_eq!(Request::parse("SLOWLOG 5"), Ok(Request::Slowlog(5)));
+        assert_eq!(Request::parse("SLOWLOG RESET"), Ok(Request::SlowlogReset));
+        assert!(Request::parse("SLOWLOG banana").is_err());
+        assert!(Request::parse("SLOWLOG 5 6").is_err());
+        assert!(Request::parse("SLOWLOG RESET 2").is_err());
+    }
+
+    #[test]
+    fn span_stage_sum_tracks_batch_total_within_tolerance() {
+        // Acceptance: the per-stage breakdown must account for the
+        // batch's end-to-end time — the stages partition the
+        // execution window, so their sum never exceeds the total and
+        // trails it only by the few stamps outside any stage.
+        let svc = KvService::with_shards(4, 4_096, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        span::set_enabled(true);
+        let mset: String = std::iter::once("MSET".to_string())
+            .chain((0..512u64).flat_map(|k| [k.to_string(), (k * 7).to_string()]))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let lines = [mset.as_str(), "MGET 1 2 3 4 5 6 7 8", "SCAN 0 64"];
+        let batch: Vec<Parsed> = lines.iter().map(|l| Parsed::from_line(l)).collect();
+        let mut span = SpanContext::start(1, batch.len() as u32);
+        let mut out = String::new();
+        svc.apply_batch_span(&batch, &crew, &mut out, &mut span);
+        svc.finish_span(&mut span);
+        let total = span.total_ns();
+        let sum = span.stage_sum();
+        assert!(total > 0, "finish must stamp a real total");
+        assert!(span.get(Stage::Exec) > 0, "a 512-pair MSET takes time");
+        assert!(sum <= total, "stages are disjoint sub-intervals: {span:?}");
+        let slack = total / 10 + 50_000; // 10% + 50us floor for tiny batches
+        assert!(
+            total - sum <= slack,
+            "unattributed {} of {total} ns exceeds {slack}: {span:?}",
+            total - sum
+        );
+        crew.shutdown();
+    }
+
+    #[test]
+    fn slowlog_verb_returns_breakdowns_and_reset_hides_them() {
+        let svc = KvService::with_shards(1, 4_096, 256);
+        let crew = WorkCrew::new(PoolConfig::unrestricted(1, 8));
+        span::set_enabled(true);
+        svc.set_slowlog_threshold_us(1); // ~everything qualifies
+        assert_eq!(svc.slowlog_threshold_us(), 1);
+        // A batch slow enough (hundreds of puts) to clear 1us.
+        let lines: Vec<String> = (0..256u64).map(|k| format!("PUT {k} {k}")).collect();
+        let batch: Vec<Parsed> = lines.iter().map(|l| Parsed::from_line(l)).collect();
+        let mut span = SpanContext::start(7, batch.len() as u32);
+        let mut out = String::new();
+        svc.apply_batch_span(&batch, &crew, &mut out, &mut span);
+        svc.finish_span(&mut span);
+        let doc = svc.apply(Request::Slowlog(10), &crew);
+        assert!(
+            doc.starts_with("SLOWLOG entries=1 inserted=1 threshold_us=1\n"),
+            "{doc}"
+        );
+        assert!(doc.contains("BATCH 7 OPS 256 TOTAL_NS "), "{doc}");
+        for field in [
+            "READ_NS",
+            "QUEUE_NS",
+            "LOCK_WAIT_NS",
+            "CULL_WAIT_NS",
+            "EXEC_NS",
+            "WAL_FSYNC_NS",
+            "FLUSH_NS",
+        ] {
+            assert!(doc.contains(field), "missing {field} in:\n{doc}");
+        }
+        assert!(doc.ends_with("# EOF"), "{doc}");
+        // RESET hides the entries but keeps the inserted count.
+        assert_eq!(svc.apply(Request::SlowlogReset, &crew), "OK");
+        let doc = svc.apply(Request::Slowlog(10), &crew);
+        assert!(doc.starts_with("SLOWLOG entries=0 inserted=1"), "{doc}");
+        // Threshold 0 disables insertion entirely.
+        svc.set_slowlog_threshold_us(0);
+        let mut span = SpanContext::start(8, batch.len() as u32);
+        let mut out = String::new();
+        svc.apply_batch_span(&batch, &crew, &mut out, &mut span);
+        svc.finish_span(&mut span);
+        assert_eq!(
+            svc.slowlog().inserted(),
+            1,
+            "disabled slowlog must not grow"
+        );
+        // The stage histograms collected regardless.
+        assert_eq!(svc.apply(Request::SlowlogReset, &crew), "OK");
+        crew.shutdown();
+    }
+
+    #[test]
+    fn slowlog_over_tcp_records_pipelined_batches() {
+        let (listener, control) = bind("127.0.0.1:0").unwrap();
+        let addr = control.addr();
+        let crew = Arc::new(WorkCrew::new(PoolConfig::unrestricted(2, 16)));
+        let svc = Arc::new(KvService::with_shards(1, 4_096, 256));
+        span::set_enabled(true);
+        svc.set_slowlog_threshold_us(1); // everything is "slow"
+        let server = {
+            let crew = Arc::clone(&crew);
+            let svc = Arc::clone(&svc);
+            let control = control.clone();
+            std::thread::spawn(move || serve(listener, &control, crew, svc).unwrap())
+        };
+        let mut c = KvClient::connect(addr).unwrap();
+        // A pipelined window: the whole burst drains as one traced
+        // batch (or a few, depending on TCP segmentation).
+        for t in 0..64u64 {
+            c.send_tagged(t, &format!("PUT {t} {t}")).unwrap();
+        }
+        for _ in 0..64 {
+            let (_, resp) = c.recv_tagged().unwrap();
+            assert_eq!(resp, "OK");
+        }
+        let doc = c.fetch_document("SLOWLOG 64").unwrap();
+        let header = doc.lines().next().unwrap_or_default().to_string();
+        assert!(header.starts_with("SLOWLOG entries="), "{doc}");
+        assert!(!header.starts_with("SLOWLOG entries=0"), "{doc}");
+        let entry = doc
+            .lines()
+            .find(|l| l.starts_with("BATCH "))
+            .unwrap_or_else(|| panic!("no BATCH line in:\n{doc}"));
+        assert!(entry.contains(" TOTAL_NS "), "{entry}");
+        assert!(entry.contains(" EXEC_NS "), "{entry}");
+        assert_eq!(c.roundtrip("SLOWLOG RESET").unwrap(), "OK");
+        assert_eq!(c.roundtrip("SHUTDOWN").unwrap(), "OK");
+        server.join().unwrap();
         crew.shutdown();
     }
 

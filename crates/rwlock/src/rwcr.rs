@@ -473,7 +473,18 @@ impl RwCrLock {
             malthus_obs::record(malthus_obs::EventKind::LockCull, self.id(), 0);
             self.rside.gate.unlock();
         }
+        // Span tracing: the park below *is* passive-list residency —
+        // the Malthusian long-tail wait — so it feeds the cull_wait
+        // accumulator, distinct from ordinary admission (lock_wait).
+        let t0 = if malthus_obs::span::enabled() {
+            malthus_obs::span::now_ns()
+        } else {
+            0
+        };
         cell.wait(self.policy);
+        if t0 != 0 {
+            malthus_obs::span::add_cull_wait(malthus_obs::span::now_ns().saturating_sub(t0));
+        }
         if slot_granted.load(Ordering::Acquire) {
             // The granter already took our slot; carry the cascade so
             // the list keeps draining while readers flow.
@@ -486,7 +497,21 @@ impl RwCrLock {
 
     /// Waits (spin, then the policy's park path) for the active
     /// readers to drain after the writer bit is set.
+    ///
+    /// Span tracing counts the whole drain as lock admission: the
+    /// writer already owns the serialization lock but cannot enter
+    /// its critical section yet, so from the request's point of view
+    /// this is still waiting-to-acquire.
     fn wait_for_drain(&self) {
+        if !malthus_obs::span::enabled() {
+            return self.wait_for_drain_inner();
+        }
+        let t0 = malthus_obs::span::now_ns();
+        self.wait_for_drain_inner();
+        malthus_obs::span::add_lock_wait(malthus_obs::span::now_ns().saturating_sub(t0));
+    }
+
+    fn wait_for_drain_inner(&self) {
         let mut spin = SpinThenYield::new();
         for _ in 0..DRAIN_SPINS {
             if reader_count(self.sync.load(Ordering::Acquire)) == 0 {
@@ -569,13 +594,23 @@ unsafe impl RawRwLock for RwCrLock {
             // may be the one that releases the writer's drain).
             self.exit_read();
             // Wait out a short write section before paying for
-            // passivation.
+            // passivation. Span tracing bills the retry spin as lock
+            // admission (the passive park, if it comes to that, is
+            // billed separately as cull_wait inside the passivation).
+            let t0 = if malthus_obs::span::enabled() {
+                malthus_obs::span::now_ns()
+            } else {
+                0
+            };
             let mut spin = SpinThenYield::new();
             for _ in 0..READ_RETRY_SPINS {
                 if self.sync.load(Ordering::Acquire) & WRITER_BIT == 0 {
                     break;
                 }
                 spin.pause();
+            }
+            if t0 != 0 {
+                malthus_obs::span::add_lock_wait(malthus_obs::span::now_ns().saturating_sub(t0));
             }
             if self.sync.load(Ordering::Acquire) & WRITER_BIT != 0 {
                 match self.passivate_reader() {

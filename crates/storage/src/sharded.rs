@@ -297,12 +297,13 @@ impl Shard {
         index: usize,
         state: &mut ShardState,
         pairs: &[(u64, u64)],
+        span: &mut malthus_obs::SpanContext,
     ) -> Result<(), WriteError> {
         if self.readonly.load(Ordering::Relaxed) {
             return Err(WriteError { shard: index });
         }
         if let Some(wal) = state.wal.as_mut() {
-            if let Err(e) = wal.append_group(pairs) {
+            if let Err(e) = wal.append_group_span(pairs, span) {
                 self.wal_errors.fetch_add(1, Ordering::Relaxed);
                 self.readonly.store(true, Ordering::Relaxed);
                 eprintln!("# malthus-storage: shard {index} WAL error, going read-only: {e}");
@@ -576,7 +577,12 @@ impl ShardedKv {
         let index = self.router.route(key);
         let shard = &self.shards[index];
         let mut db = shard.db.write();
-        shard.wal_commit(index, &mut db, &[(key, value)])?;
+        shard.wal_commit(
+            index,
+            &mut db,
+            &[(key, value)],
+            &mut malthus_obs::SpanContext::detached(),
+        )?;
         db.put(key, value);
         Ok(())
     }
@@ -647,7 +653,12 @@ impl ShardedKv {
             let shard = &self.shards[shard];
             let group: Vec<(u64, u64)> = indices.iter().map(|&i| pairs[i]).collect();
             let mut db = shard.db.write();
-            match shard.wal_commit(index, &mut db, &group) {
+            match shard.wal_commit(
+                index,
+                &mut db,
+                &group,
+                &mut malthus_obs::SpanContext::detached(),
+            ) {
                 Ok(()) => {
                     shard.msets.bump();
                     for (k, v) in group {
@@ -693,6 +704,18 @@ impl ShardedKv {
     /// batch** that brought that op type to the shard, not once per
     /// [`BatchOp`] — under pipelining the batch is the admission unit.
     pub fn execute_batch(&self, ops: &[BatchOp<'_>]) -> Vec<BatchReply> {
+        self.execute_batch_span(ops, &mut malthus_obs::SpanContext::detached())
+    }
+
+    /// [`ShardedKv::execute_batch`] with span tracing: the batch's
+    /// group-commit fsyncs are folded into `span`'s `wal_fsync` stage
+    /// (lock admission flows through the thread-local accumulators
+    /// the CR locks feed — see `malthus_obs::span`).
+    pub fn execute_batch_span(
+        &self,
+        ops: &[BatchOp<'_>],
+        span: &mut malthus_obs::SpanContext,
+    ) -> Vec<BatchReply> {
         let tid = current_thread_index();
         // One flat work item per routed key: flat index -> (op, slot).
         let mut flat: Vec<(u32, u32)> = Vec::new();
@@ -746,7 +769,7 @@ impl ShardedKv {
                         }
                     })
                     .collect();
-                let committed = shard.wal_commit(shard_idx, &mut db, &write_pairs);
+                let committed = shard.wal_commit(shard_idx, &mut db, &write_pairs, span);
                 let mut saw_mset = false;
                 for &f in &group {
                     let (oi, slot) = flat[f];

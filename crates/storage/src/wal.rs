@@ -347,6 +347,18 @@ impl ShardWal {
     ///
     /// No-op for an empty group.
     pub fn append_group(&mut self, pairs: &[(u64, u64)]) -> io::Result<()> {
+        self.append_group_span(pairs, &mut malthus_obs::SpanContext::detached())
+    }
+
+    /// [`ShardWal::append_group`] with span tracing: the group's fsync
+    /// duration is also folded into `span`'s `wal_fsync` stage (the
+    /// one stage an active batch span cannot observe from outside the
+    /// shard lock).
+    pub fn append_group_span(
+        &mut self,
+        pairs: &[(u64, u64)],
+        span: &mut malthus_obs::SpanContext,
+    ) -> io::Result<()> {
         if pairs.is_empty() {
             return Ok(());
         }
@@ -363,6 +375,9 @@ impl ShardWal {
         let sync_ns = u64::try_from(sync_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if let Some(hist) = &self.sync_hist {
             hist.record_ns(sync_ns);
+        }
+        if span.is_active() {
+            span.add(malthus_obs::Stage::WalFsync, sync_ns);
         }
         malthus_obs::record(malthus_obs::EventKind::WalFsync, self.shard, sync_ns);
         self.appends += 1;
