@@ -1,0 +1,81 @@
+//! The reactor↔protocol boundary.
+//!
+//! The reactor owns readiness, buffers and socket I/O; the
+//! [`Handler`] owns the protocol. On each readable wakeup the reactor
+//! appends whatever the socket had into the connection's read buffer
+//! and hands both buffers to [`Handler::on_data`]: the handler
+//! consumes the complete requests it finds (leaving any trailing
+//! partial line in place), appends response bytes to the write
+//! buffer, and says what should happen to the connection next. The
+//! reactor then flushes nonblockingly, re-arming `EPOLLOUT` for
+//! whatever didn't fit.
+
+use std::net::TcpStream;
+
+/// What the reactor should do with a connection after
+/// [`Handler::on_data`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the connection registered.
+    Continue,
+    /// Flush the pending response (riding `EPOLLOUT` if needed), then
+    /// close — `QUIT`, oversized requests, protocol violations.
+    Close,
+    /// Flush, then initiate a full reactor shutdown — `SHUTDOWN`.
+    ShutdownServer,
+}
+
+/// Why a connection is being closed (passed to [`Handler::on_close`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed or half-closed the connection.
+    PeerClosed,
+    /// No request bytes arrived within the configured idle timeout;
+    /// the timer wheel reaped it.
+    IdleTimeout,
+    /// A socket error (`EPOLLERR`, read/write failure).
+    Error,
+    /// The handler asked for the close ([`Action::Close`] /
+    /// [`Action::ShutdownServer`]).
+    Requested,
+    /// The reactor is shutting down with the connection still open.
+    ServerShutdown,
+}
+
+/// A connection-oriented protocol served by the reactor.
+///
+/// One handler instance serves every connection; per-connection
+/// protocol state lives in [`Handler::Conn`], created at accept and
+/// mutated only by the single reactor worker that owns the
+/// connection's one-shot readiness at any moment.
+pub trait Handler: Send + Sync + 'static {
+    /// Per-connection protocol state.
+    type Conn: Send + 'static;
+
+    /// Called once per accepted connection.
+    fn on_open(&self, stream: &TcpStream) -> Self::Conn;
+
+    /// Called when new bytes have been read into `read_buf`. Consume
+    /// complete requests from the front (`drain(..n)`), leave any
+    /// trailing partial request in place, append responses to
+    /// `write_buf`.
+    fn on_data(
+        &self,
+        conn: &mut Self::Conn,
+        read_buf: &mut Vec<u8>,
+        write_buf: &mut Vec<u8>,
+    ) -> Action;
+
+    /// Called after each flush attempt that followed an
+    /// [`Handler::on_data`]: `ns` is the time the write(s) took,
+    /// `complete` whether the write buffer fully drained (false means
+    /// the remainder rides an `EPOLLOUT` re-arm and another
+    /// `on_flushed` will follow). Lets the protocol close out its
+    /// per-request accounting (spans) when the response actually left.
+    fn on_flushed(&self, conn: &mut Self::Conn, ns: u64, complete: bool) {
+        let _ = (conn, ns, complete);
+    }
+
+    /// Called exactly once when the connection leaves the reactor.
+    fn on_close(&self, conn: &mut Self::Conn, reason: CloseReason);
+}

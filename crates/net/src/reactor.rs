@@ -1,0 +1,1033 @@
+//! A readiness-driven connection front-end whose *polling right* is
+//! Malthusian.
+//!
+//! The classic reactor question — how many threads should call
+//! `epoll_wait` on a shared instance — is exactly the paper's
+//! admission question one level up. All `workers` threads exist, but
+//! only an active circulating set of `acs_target` of them may poll
+//! and drain ready sockets; the surplus is culled onto a LIFO passive
+//! stack ([`malthus_park::Parker`]), where it stays cache-warm and
+//! cheap. When every active worker is busy dispatching (nobody
+//! polling, last poll return stale past the stall threshold), the
+//! passive *stack top* self-promotes with a temporary ACS boost —
+//! stall-based reprovisioning, [`policy::crew_has_surplus`] deciding
+//! surplus exactly as the work crew does. Boost decays as polls come
+//! back empty, and an episodic [`FairnessTrigger`] swap promotes the
+//! *eldest* passive worker so LIFO residency stays long-term fair.
+//!
+//! Readiness dispatch uses `EPOLLONESHOT`: one worker owns a ready
+//! connection until it re-arms it, so per-connection handler state
+//! needs no cross-worker coordination beyond its mutex. A never-
+//! drained level-triggered wake pipe makes shutdown wake *every*
+//! poller at once. A ready connection is drained with a bounded read
+//! budget, handed to the [`Handler`] as one batch, and its response
+//! flushed nonblockingly — whatever doesn't fit rides an `EPOLLOUT`
+//! re-arm. Idle connections cost one slab slot and one timer-wheel
+//! token; no thread, no stack.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use malthus::policy::{self, FairnessTrigger};
+use malthus_metrics::LatencyHistogram;
+use malthus_park::{ParkResult, Parker, Unparker};
+
+use crate::handler::{Action, CloseReason, Handler};
+use crate::sys;
+use crate::wheel::TimerWheel;
+
+/// Token of the shutdown wake pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX;
+/// Token of the accept listener.
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+
+/// Ready events drained per `epoll_wait` call.
+const EVENT_BATCH: usize = 64;
+/// Upper bound on an active worker's sleep inside `epoll_wait`, so
+/// boost decay and timer-wheel ticks happen even on a quiet server.
+const POLL_MS: i32 = 100;
+/// Socket reads per readable wakeup are capped at this many bytes;
+/// the level-triggered one-shot re-arm redelivers whatever remains,
+/// so a fire-hosing client cannot pin a reactor worker.
+const READ_BUDGET: usize = 64 * 1024;
+/// Read chunk growth quantum.
+const READ_CHUNK: usize = 16 * 1024;
+/// Accepts per listener wakeup before re-arming (the re-arm fires
+/// again immediately if the backlog still has connections).
+const ACCEPT_BUDGET: usize = 256;
+/// A connection whose buffered partial request exceeds this is
+/// protocol-broken (or hostile) and is closed.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Reactor sizing and admission knobs.
+#[derive(Clone)]
+pub struct ReactorConfig {
+    /// Total reactor worker threads (active + passive).
+    pub workers: usize,
+    /// Steady-state ACS limit on concurrent pollers; `workers`
+    /// disables restriction.
+    pub acs_target: usize,
+    /// How stale the last `epoll_wait` return must be (with nobody
+    /// polling) before the passive stack top self-promotes.
+    pub stall_threshold: Duration,
+    /// Average period (in ready-batch dispatches) of the episodic
+    /// eldest-passive promotion; `None` disables it.
+    pub fairness_period: Option<u64>,
+    /// Seed for the fairness trigger's Bernoulli trials.
+    pub seed: u64,
+    /// Idle timeout: connections with no request bytes for this long
+    /// are reaped by the timer wheel. `None` never reaps.
+    pub read_timeout: Option<Duration>,
+    /// External stop flag, checked on every accept wakeup: setting it
+    /// and nudging the listener (a bare connect) shuts the reactor
+    /// down — how `ServerControl::stop` reaches a reactor that has no
+    /// blocking accept loop to break.
+    pub stop_flag: Option<Arc<AtomicBool>>,
+}
+
+impl ReactorConfig {
+    /// A Malthusian reactor: `workers` threads, ACS capped at the
+    /// host's parallelism, 5 ms stall window, the paper's 1/1000
+    /// fairness period.
+    pub fn malthusian(workers: usize) -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ReactorConfig {
+            workers: workers.max(1),
+            acs_target: workers.max(1).min(cpus),
+            stall_threshold: Duration::from_millis(5),
+            fairness_period: Some(policy::DEFAULT_FAIRNESS_PERIOD),
+            seed: 0x4D414C54,
+            read_timeout: None,
+            stop_flag: None,
+        }
+    }
+
+    /// Overrides the steady-state ACS limit (clamped to `workers`).
+    pub fn with_acs_target(mut self, acs_target: usize) -> Self {
+        self.acs_target = acs_target.clamp(1, self.workers);
+        self
+    }
+
+    /// Sets the idle-connection reap timeout.
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides the poll-stall window.
+    pub fn with_stall_threshold(mut self, stall: Duration) -> Self {
+        self.stall_threshold = stall;
+        self
+    }
+
+    /// Installs an external stop flag (see the field docs).
+    pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop_flag = Some(flag);
+        self
+    }
+}
+
+/// Counter snapshot of reactor activity (racy while running, exact
+/// after [`Reactor::join`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections currently registered.
+    pub conns_open: usize,
+    /// Workers currently in the active circulating set.
+    pub active_workers: usize,
+    /// Workers currently parked on the passive stack.
+    pub passive_workers: usize,
+    /// Total `epoll_wait` returns.
+    pub epoll_waits: u64,
+    /// Ready-connection dispatches (each is one handler batch).
+    pub ready_batches: u64,
+    /// Connections accepted.
+    pub accepts: u64,
+    /// Workers culled onto the passive stack.
+    pub culls: u64,
+    /// Passive workers self-promoted on poll stall.
+    pub reprovisions: u64,
+    /// Eldest-passive promotions by the fairness trigger.
+    pub fairness_promotions: u64,
+    /// Connections reaped by the idle timer wheel.
+    pub idle_reaps: u64,
+    /// Flush attempts that could not complete and re-armed `EPOLLOUT`.
+    pub partial_flushes: u64,
+}
+
+/// One registered connection: sockets plus the buffer pair that
+/// replaced the threaded server's thread + stack.
+struct Connection<H: Handler> {
+    stream: TcpStream,
+    token: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` already left the socket.
+    write_pos: usize,
+    /// Monotonic-ms stamp of the last request bytes (idle-reap input).
+    last_active_ms: u64,
+    /// Close once the write buffer drains (QUIT, protocol errors).
+    closing: bool,
+    /// After the drain-close, also take the whole reactor down
+    /// (SHUTDOWN verb).
+    shutdown_on_close: bool,
+    closed: bool,
+    state: H::Conn,
+}
+
+impl<H: Handler> Connection<H> {
+    fn write_pending(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+}
+
+struct SlabEntry<H: Handler> {
+    /// Bumped on every free; tokens embed it so a recycled slot
+    /// cannot alias a stale epoll event.
+    gen: u32,
+    conn: Option<Arc<Mutex<Connection<H>>>>,
+}
+
+struct Slab<H: Handler> {
+    entries: Vec<SlabEntry<H>>,
+    free: Vec<u32>,
+}
+
+/// Poll-admission state: the work crew's membership machine with
+/// "dequeue a task" replaced by "return from `epoll_wait`".
+struct Admission {
+    /// Workers currently active (polling or dispatching).
+    active: AtomicUsize,
+    /// Temporary ACS enlargement from reprovisioning; decays on empty
+    /// polls.
+    boost: AtomicUsize,
+    /// Workers currently blocked inside `epoll_wait`. Zero while the
+    /// last poll return goes stale means readiness may be sitting
+    /// undelivered — the reprovision signal.
+    waiting: AtomicUsize,
+    /// Monotonic-ms stamp of the most recent `epoll_wait` return.
+    last_poll_ms: AtomicU64,
+    /// Passive worker ids; eldest at 0, LIFO top last.
+    passive: Mutex<Vec<usize>>,
+    fairness: Mutex<Option<FairnessTrigger>>,
+    culls: AtomicU64,
+    reprovisions: AtomicU64,
+    fairness_promotions: AtomicU64,
+}
+
+struct Inner<H: Handler> {
+    epfd: i32,
+    wake_r: i32,
+    wake_w: i32,
+    fds_closed: AtomicBool,
+    listener: TcpListener,
+    handler: H,
+    cfg: ReactorConfig,
+    stall_ms: u64,
+    epoch: Instant,
+    shutdown: AtomicBool,
+    slab: Mutex<Slab<H>>,
+    conns_open: AtomicUsize,
+    wheel: Option<TimerWheel>,
+    adm: Admission,
+    unparkers: Vec<Unparker>,
+    epoll_waits: AtomicU64,
+    ready_batches: AtomicU64,
+    accepts: AtomicU64,
+    idle_reaps: AtomicU64,
+    partial_flushes: AtomicU64,
+    /// Ready sockets per non-empty `epoll_wait` return.
+    ready_hist: LatencyHistogram,
+}
+
+/// The reactor handle: spawns its workers at [`Reactor::start`],
+/// stops them at [`Reactor::join`] (or on drop).
+pub struct Reactor<H: Handler> {
+    inner: Arc<Inner<H>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<H: Handler> Reactor<H> {
+    /// Takes ownership of `listener`, registers it with a fresh epoll
+    /// instance, and spawns `cfg.workers` admission-managed reactor
+    /// threads. Returns once the workers are running; serving needs
+    /// no further calls.
+    pub fn start(listener: TcpListener, handler: H, cfg: ReactorConfig) -> io::Result<Reactor<H>> {
+        assert!(cfg.workers >= 1, "reactor needs at least one worker");
+        assert!(
+            (1..=cfg.workers).contains(&cfg.acs_target),
+            "ACS target must be in 1..=workers"
+        );
+        listener.set_nonblocking(true)?;
+        let epfd = sys::epoll_create()?;
+        let (wake_r, wake_w) = match sys::wake_pipe() {
+            Ok(p) => p,
+            Err(e) => {
+                sys::close_fd(epfd);
+                return Err(e);
+            }
+        };
+        // Level-triggered and never drained: once written, every
+        // epoll_wait on every worker returns instantly, forever.
+        sys::epoll_ctl_op(epfd, sys::EPOLL_CTL_ADD, wake_r, sys::EPOLLIN, TOKEN_WAKE)?;
+        sys::epoll_ctl_op(
+            epfd,
+            sys::EPOLL_CTL_ADD,
+            listener.as_raw_fd(),
+            sys::EPOLLIN | sys::EPOLLONESHOT,
+            TOKEN_LISTENER,
+        )?;
+        let parkers: Vec<Parker> = (0..cfg.workers).map(|_| Parker::new()).collect();
+        let unparkers = parkers.iter().map(Parker::unparker).collect();
+        let stall_ms = (cfg.stall_threshold.as_millis() as u64).max(1);
+        let inner = Arc::new(Inner {
+            epfd,
+            wake_r,
+            wake_w,
+            fds_closed: AtomicBool::new(false),
+            listener,
+            handler,
+            stall_ms,
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            slab: Mutex::new(Slab {
+                entries: Vec::new(),
+                free: Vec::new(),
+            }),
+            conns_open: AtomicUsize::new(0),
+            wheel: cfg.read_timeout.map(TimerWheel::new),
+            adm: Admission {
+                active: AtomicUsize::new(cfg.workers),
+                boost: AtomicUsize::new(0),
+                waiting: AtomicUsize::new(0),
+                last_poll_ms: AtomicU64::new(0),
+                passive: Mutex::new(Vec::new()),
+                fairness: Mutex::new(
+                    cfg.fairness_period
+                        .map(|p| FairnessTrigger::new(p, cfg.seed)),
+                ),
+                culls: AtomicU64::new(0),
+                reprovisions: AtomicU64::new(0),
+                fairness_promotions: AtomicU64::new(0),
+            },
+            unparkers,
+            epoll_waits: AtomicU64::new(0),
+            ready_batches: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            idle_reaps: AtomicU64::new(0),
+            partial_flushes: AtomicU64::new(0),
+            ready_hist: LatencyHistogram::new(),
+            cfg,
+        });
+        let handles = parkers
+            .into_iter()
+            .enumerate()
+            .map(|(id, parker)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("reactor-{id}"))
+                    .spawn(move || worker_loop(&inner, id, parker))
+                    .expect("spawn reactor worker")
+            })
+            .collect();
+        Ok(Reactor { inner, handles })
+    }
+
+    /// The address the reactor is accepting on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.listener.local_addr()
+    }
+
+    /// Signals shutdown without waiting: wakes every poller through
+    /// the wake pipe and every passive worker through its parker.
+    pub fn shutdown(&self) {
+        self.inner.initiate_shutdown();
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> ReactorStats {
+        self.inner.stats()
+    }
+
+    /// A cloneable, handler-type-erased window onto [`Reactor::stats`]
+    /// — lets protocol code created *before* the reactor (the handler)
+    /// read reactor counters once it is running.
+    pub fn stats_probe(&self) -> StatsProbe {
+        let inner = Arc::clone(&self.inner);
+        StatsProbe(Arc::new(move || inner.stats()))
+    }
+
+    /// Shuts down, joins every worker, closes every remaining
+    /// connection (handlers see [`CloseReason::ServerShutdown`]), and
+    /// returns the final statistics.
+    pub fn join(mut self) -> ReactorStats {
+        self.inner.initiate_shutdown();
+        self.finish()
+    }
+
+    /// Blocks until something else shuts the reactor down — a
+    /// `SHUTDOWN` verb ([`Action::ShutdownServer`]), the configured
+    /// stop flag, or [`Reactor::shutdown`] from another thread — then
+    /// cleans up and returns the final statistics. The serve-loop
+    /// analogue of a blocking accept loop.
+    pub fn wait(mut self) -> ReactorStats {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> ReactorStats {
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let remaining: Vec<Arc<Mutex<Connection<H>>>> = {
+            let mut slab = self.inner.slab.lock().expect("reactor slab poisoned");
+            slab.free.clear();
+            slab.entries
+                .iter_mut()
+                .filter_map(|e| e.conn.take())
+                .collect()
+        };
+        for arc in remaining {
+            let mut c = arc.lock().expect("reactor conn poisoned");
+            if !c.closed {
+                c.closed = true;
+                self.inner.conns_open.fetch_sub(1, Ordering::SeqCst);
+                self.inner
+                    .handler
+                    .on_close(&mut c.state, CloseReason::ServerShutdown);
+            }
+        }
+        if !self.inner.fds_closed.swap(true, Ordering::SeqCst) {
+            sys::close_fd(self.inner.epfd);
+            sys::close_fd(self.inner.wake_r);
+            sys::close_fd(self.inner.wake_w);
+        }
+        self.inner.stats()
+    }
+
+    /// Registers the reactor's gauges, counters and the ready-batch
+    /// histogram with a metrics registry (idempotent: re-registration
+    /// replaces the sources).
+    pub fn register_metrics(&self, registry: &malthus_obs::Registry) {
+        let no_labels: &[(&str, &str)] = &[];
+        let i = Arc::clone(&self.inner);
+        registry.gauge(
+            "kv_conns_open",
+            "Connections currently registered with the reactor.",
+            no_labels,
+            move || i.conns_open.load(Ordering::Relaxed) as f64,
+        );
+        let i = Arc::clone(&self.inner);
+        registry.gauge(
+            "kv_reactor_workers",
+            "Reactor workers by admission state.",
+            &[("state", "active")],
+            move || i.adm.active.load(Ordering::Relaxed) as f64,
+        );
+        let i = Arc::clone(&self.inner);
+        registry.gauge(
+            "kv_reactor_workers",
+            "Reactor workers by admission state.",
+            &[("state", "passive")],
+            move || {
+                let passive = i.adm.passive.lock().expect("reactor admission poisoned");
+                passive.len() as f64
+            },
+        );
+        let i = Arc::clone(&self.inner);
+        registry.counter(
+            "kv_epoll_waits_total",
+            "epoll_wait returns across all reactor workers.",
+            no_labels,
+            move || i.epoll_waits.load(Ordering::Relaxed),
+        );
+        let i = Arc::clone(&self.inner);
+        registry.counter(
+            "kv_reactor_culls_total",
+            "Reactor workers passivated by poll admission.",
+            no_labels,
+            move || i.adm.culls.load(Ordering::Relaxed),
+        );
+        let i = Arc::clone(&self.inner);
+        registry.counter(
+            "kv_reactor_reprovisions_total",
+            "Passive reactor workers self-promoted on poll stall.",
+            no_labels,
+            move || i.adm.reprovisions.load(Ordering::Relaxed),
+        );
+        let i = Arc::clone(&self.inner);
+        registry.counter(
+            "kv_reactor_partial_flushes_total",
+            "Response flushes that re-armed EPOLLOUT to finish.",
+            no_labels,
+            move || i.partial_flushes.load(Ordering::Relaxed),
+        );
+        let i = Arc::clone(&self.inner);
+        registry.counter(
+            "kv_reactor_idle_reaps_total",
+            "Connections reaped by the idle timer wheel.",
+            no_labels,
+            move || i.idle_reaps.load(Ordering::Relaxed),
+        );
+        let i = Arc::clone(&self.inner);
+        registry.histogram(
+            "kv_reactor_ready_batch",
+            "Ready sockets drained per non-empty epoll_wait return.",
+            no_labels,
+            move || i.ready_hist.snapshot(),
+        );
+    }
+}
+
+impl<H: Handler> Drop for Reactor<H> {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.inner.initiate_shutdown();
+            self.finish();
+        }
+    }
+}
+
+/// See [`Reactor::stats_probe`].
+#[derive(Clone)]
+pub struct StatsProbe(Arc<dyn Fn() -> ReactorStats + Send + Sync>);
+
+impl StatsProbe {
+    /// Current reactor counters.
+    pub fn get(&self) -> ReactorStats {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for StatsProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsProbe").finish_non_exhaustive()
+    }
+}
+
+impl<H: Handler> Inner<H> {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn acs_limit(&self) -> usize {
+        (self.cfg.acs_target + self.adm.boost.load(Ordering::SeqCst)).min(self.cfg.workers)
+    }
+
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        sys::wake_write(self.wake_w);
+        for u in &self.unparkers {
+            u.unpark();
+        }
+    }
+
+    fn stats(&self) -> ReactorStats {
+        ReactorStats {
+            conns_open: self.conns_open.load(Ordering::SeqCst),
+            active_workers: self.adm.active.load(Ordering::SeqCst),
+            passive_workers: self
+                .adm
+                .passive
+                .lock()
+                .expect("reactor admission poisoned")
+                .len(),
+            epoll_waits: self.epoll_waits.load(Ordering::Relaxed),
+            ready_batches: self.ready_batches.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            culls: self.adm.culls.load(Ordering::Relaxed),
+            reprovisions: self.adm.reprovisions.load(Ordering::Relaxed),
+            fairness_promotions: self.adm.fairness_promotions.load(Ordering::Relaxed),
+            idle_reaps: self.idle_reaps.load(Ordering::Relaxed),
+            partial_flushes: self.partial_flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Culls the calling worker if the ACS has surplus. The recheck
+    /// under the passive mutex serializes concurrent cull decisions
+    /// so the set never undershoots the limit.
+    fn try_cull(&self, id: usize) -> bool {
+        let mut passive = self.adm.passive.lock().expect("reactor admission poisoned");
+        if self.shutdown.load(Ordering::Acquire)
+            || !policy::crew_has_surplus(self.adm.active.load(Ordering::SeqCst), self.acs_limit())
+        {
+            return false;
+        }
+        passive.push(id);
+        self.adm.active.fetch_sub(1, Ordering::SeqCst);
+        self.adm.culls.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Parks a culled worker until promotion (returns `true`) or
+    /// shutdown (`false`). Only the stack top may self-promote, and
+    /// only when nobody is polling and the last poll return has gone
+    /// stale — the reactor's analogue of a dequeue stall with backlog
+    /// waiting.
+    fn park_passive(&self, id: usize, parker: &Parker) -> bool {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            match parker.park_timeout(self.cfg.stall_threshold) {
+                ParkResult::Unparked => {
+                    // A promoter (fairness swap or shutdown) already
+                    // did the membership bookkeeping for us.
+                    return !self.shutdown.load(Ordering::Acquire);
+                }
+                ParkResult::TimedOut => {
+                    if self.adm.waiting.load(Ordering::SeqCst) != 0 {
+                        continue;
+                    }
+                    let stale = self
+                        .now_ms()
+                        .saturating_sub(self.adm.last_poll_ms.load(Ordering::Acquire));
+                    if stale < self.stall_ms {
+                        continue;
+                    }
+                    let mut passive = self.adm.passive.lock().expect("reactor admission poisoned");
+                    if passive.last() == Some(&id) {
+                        passive.pop();
+                        drop(passive);
+                        self.adm.active.fetch_add(1, Ordering::SeqCst);
+                        self.adm.boost.fetch_add(1, Ordering::SeqCst);
+                        self.adm.reprovisions.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sheds one unit of reprovisioning boost after an empty poll —
+    /// readiness kept up with the enlarged set, so it relaxes back
+    /// toward the target.
+    fn decay_boost(&self) {
+        let _ = self
+            .adm
+            .boost
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1));
+    }
+
+    /// Episodic eldest-fairness: swap the calling worker for the
+    /// eldest passive one. Returns `true` if the caller passivated
+    /// (it must then park).
+    fn fairness_swap(&self, id: usize) -> bool {
+        let fired = {
+            let mut trig = self
+                .adm
+                .fairness
+                .lock()
+                .expect("reactor admission poisoned");
+            trig.as_mut().is_some_and(FairnessTrigger::fire)
+        };
+        if !fired {
+            return false;
+        }
+        let mut passive = self.adm.passive.lock().expect("reactor admission poisoned");
+        if passive.is_empty() || self.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        let eldest = passive.remove(0);
+        passive.push(id);
+        drop(passive);
+        // A swap: the eldest joins the ACS here; the caller leaves it
+        // (decrementing `active`) on its way to the passive park.
+        self.adm.active.fetch_add(1, Ordering::SeqCst);
+        self.unparkers[eldest].unpark();
+        self.adm.fairness_promotions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn lookup(&self, token: u64) -> Option<Arc<Mutex<Connection<H>>>> {
+        let index = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        let slab = self.slab.lock().expect("reactor slab poisoned");
+        let entry = slab.entries.get(index)?;
+        if entry.gen != gen {
+            return None;
+        }
+        entry.conn.clone()
+    }
+
+    /// Registers a freshly accepted stream: nonblocking, slab slot,
+    /// handler state, timer-wheel deadline, one-shot read interest.
+    fn register_conn(self: &Arc<Self>, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        let now = self.now_ms();
+        let state = self.handler.on_open(&stream);
+        let token = {
+            let mut slab = self.slab.lock().expect("reactor slab poisoned");
+            let index = match slab.free.pop() {
+                Some(i) => i as usize,
+                None => {
+                    slab.entries.push(SlabEntry { gen: 0, conn: None });
+                    slab.entries.len() - 1
+                }
+            };
+            let token = (u64::from(slab.entries[index].gen) << 32) | index as u64;
+            slab.entries[index].conn = Some(Arc::new(Mutex::new(Connection {
+                stream,
+                token,
+                read_buf: Vec::new(),
+                write_buf: Vec::new(),
+                write_pos: 0,
+                last_active_ms: now,
+                closing: false,
+                shutdown_on_close: false,
+                closed: false,
+                state,
+            })));
+            token
+        };
+        self.conns_open.fetch_add(1, Ordering::SeqCst);
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+        if let (Some(wheel), Some(timeout)) = (&self.wheel, self.cfg.read_timeout) {
+            wheel.schedule(token, now, timeout);
+        }
+        if let Err(e) = sys::epoll_ctl_op(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLONESHOT,
+            token,
+        ) {
+            eprintln!("# reactor: epoll register failed (dropping conn): {e}");
+            if let Some(arc) = self.lookup(token) {
+                let mut c = arc.lock().expect("reactor conn poisoned");
+                self.close_locked(&mut c, CloseReason::Error, false);
+            }
+        }
+    }
+
+    /// Drains the accept backlog (bounded) and re-arms the listener.
+    fn accept_ready(self: &Arc<Self>) {
+        if let Some(flag) = &self.cfg.stop_flag {
+            if flag.load(Ordering::SeqCst) {
+                self.initiate_shutdown();
+                return;
+            }
+        }
+        for _ in 0..ACCEPT_BUDGET {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.register_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // One refused/aborted connection must not take
+                    // down the reactor (same contract as the threaded
+                    // accept loop).
+                    eprintln!("# reactor: accept error (continuing): {e}");
+                    break;
+                }
+            }
+        }
+        if !self.shutdown.load(Ordering::Acquire) {
+            let _ = sys::epoll_ctl_op(
+                self.epfd,
+                sys::EPOLL_CTL_MOD,
+                self.listener.as_raw_fd(),
+                sys::EPOLLIN | sys::EPOLLONESHOT,
+                TOKEN_LISTENER,
+            );
+        }
+    }
+
+    /// Nonblocking flush of the pending slice of `write_buf`.
+    /// Returns `Ok(true)` when fully drained, `Ok(false)` on
+    /// `WouldBlock` (caller re-arms `EPOLLOUT`).
+    fn flush(&self, c: &mut Connection<H>) -> io::Result<bool> {
+        while c.write_pending() {
+            match c.stream.write(&c.write_buf[c.write_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => c.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.partial_flushes.fetch_add(1, Ordering::Relaxed);
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        c.write_buf.clear();
+        c.write_pos = 0;
+        Ok(true)
+    }
+
+    /// One ready-connection dispatch: drain the socket (bounded),
+    /// hand the bytes to the handler as a batch, flush the response,
+    /// re-arm or close.
+    fn conn_ready(self: &Arc<Self>, token: u64, mask: u32) {
+        let Some(arc) = self.lookup(token) else {
+            return; // already closed; stale one-shot event
+        };
+        let mut c = arc.lock().expect("reactor conn poisoned");
+        if c.closed {
+            return;
+        }
+        self.ready_batches.fetch_add(1, Ordering::Relaxed);
+        let mut reason: Option<CloseReason> = None;
+        let mut eof = false;
+        if mask & sys::EPOLLERR != 0 {
+            reason = Some(CloseReason::Error);
+        }
+        // Finish an in-flight partial response first: the peer just
+        // told us it drained some of its receive window.
+        if reason.is_none() && c.write_pending() && mask & sys::EPOLLOUT != 0 {
+            let t0 = Instant::now();
+            match self.flush(&mut c) {
+                Ok(complete) => {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    self.handler.on_flushed(&mut c.state, ns, complete);
+                }
+                Err(_) => reason = Some(CloseReason::Error),
+            }
+        }
+        let mut read_any = false;
+        if reason.is_none()
+            && !c.closing
+            && mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+        {
+            let conn = &mut *c;
+            let mut total = 0;
+            loop {
+                let len = conn.read_buf.len();
+                conn.read_buf.resize(len + READ_CHUNK, 0);
+                let got = conn.stream.read(&mut conn.read_buf[len..]);
+                match got {
+                    Ok(0) => {
+                        conn.read_buf.truncate(len);
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.truncate(len + n);
+                        read_any = true;
+                        total += n;
+                        if total >= READ_BUDGET {
+                            break; // re-arm redelivers the rest
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        conn.read_buf.truncate(len);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        conn.read_buf.truncate(len);
+                    }
+                    Err(_) => {
+                        conn.read_buf.truncate(len);
+                        reason = Some(CloseReason::Error);
+                        break;
+                    }
+                }
+            }
+            conn.last_active_ms = self.epoch.elapsed().as_millis() as u64;
+        }
+        if reason.is_none() && read_any {
+            let conn = &mut *c;
+            match self
+                .handler
+                .on_data(&mut conn.state, &mut conn.read_buf, &mut conn.write_buf)
+            {
+                Action::Continue => {}
+                Action::Close => conn.closing = true,
+                Action::ShutdownServer => {
+                    conn.closing = true;
+                    conn.shutdown_on_close = true;
+                }
+            }
+            if c.read_buf.len() > MAX_REQUEST_BYTES {
+                // An unbounded partial line is a protocol violation;
+                // drop it rather than buffer without limit.
+                c.closing = true;
+            }
+            if c.write_pending() {
+                let t0 = Instant::now();
+                match self.flush(&mut c) {
+                    Ok(complete) => {
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        self.handler.on_flushed(&mut c.state, ns, complete);
+                    }
+                    Err(_) => reason = Some(CloseReason::Error),
+                }
+            }
+        }
+        if reason.is_none() {
+            if eof {
+                reason = Some(CloseReason::PeerClosed);
+            } else if c.closing && !c.write_pending() {
+                reason = Some(CloseReason::Requested);
+            }
+        }
+        let shutdown_after = match reason {
+            Some(r) => {
+                let shutdown_after = c.shutdown_on_close;
+                self.close_locked(&mut c, r, true);
+                shutdown_after
+            }
+            None => {
+                let mut m = sys::EPOLLRDHUP | sys::EPOLLONESHOT;
+                if !c.closing {
+                    m |= sys::EPOLLIN;
+                }
+                if c.write_pending() {
+                    m |= sys::EPOLLOUT;
+                }
+                let fd = c.stream.as_raw_fd();
+                if sys::epoll_ctl_op(self.epfd, sys::EPOLL_CTL_MOD, fd, m, token).is_err() {
+                    self.close_locked(&mut c, CloseReason::Error, true);
+                }
+                false
+            }
+        };
+        drop(c);
+        if shutdown_after {
+            self.initiate_shutdown();
+        }
+    }
+
+    /// Closes a connection whose mutex the caller holds: deregisters
+    /// the fd, runs the close hook once, frees the slab slot. Lock
+    /// order stays conn → slab; the slab mutex is never held while a
+    /// conn mutex is taken.
+    fn close_locked(&self, c: &mut Connection<H>, reason: CloseReason, deregister: bool) {
+        if c.closed {
+            return;
+        }
+        c.closed = true;
+        if deregister {
+            let _ = sys::epoll_ctl_op(self.epfd, sys::EPOLL_CTL_DEL, c.stream.as_raw_fd(), 0, 0);
+        }
+        self.handler.on_close(&mut c.state, reason);
+        let index = (c.token & u64::from(u32::MAX)) as usize;
+        let gen = (c.token >> 32) as u32;
+        let mut slab = self.slab.lock().expect("reactor slab poisoned");
+        if let Some(entry) = slab.entries.get_mut(index) {
+            if entry.gen == gen {
+                entry.conn = None;
+                entry.gen = entry.gen.wrapping_add(1);
+                slab.free.push(index as u32);
+            }
+        }
+        drop(slab);
+        self.conns_open.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Claims due timer-wheel ticks and reaps connections idle past
+    /// the timeout; still-live ones are rescheduled for the remainder.
+    fn tick_wheel(self: &Arc<Self>) {
+        let (Some(wheel), Some(timeout)) = (&self.wheel, self.cfg.read_timeout) else {
+            return;
+        };
+        let now = self.now_ms();
+        let timeout_ms = (timeout.as_millis() as u64).max(1);
+        for token in wheel.due(now) {
+            let Some(arc) = self.lookup(token) else {
+                continue; // closed since scheduling; stale token
+            };
+            let mut c = arc.lock().expect("reactor conn poisoned");
+            if c.closed {
+                continue;
+            }
+            let idle = now.saturating_sub(c.last_active_ms);
+            if idle >= timeout_ms {
+                self.idle_reaps.fetch_add(1, Ordering::Relaxed);
+                self.close_locked(&mut c, CloseReason::IdleTimeout, true);
+            } else {
+                wheel.schedule(token, now, Duration::from_millis(timeout_ms - idle));
+            }
+        }
+    }
+}
+
+/// The reactor worker: the crew's admission state machine with
+/// polling as the admitted work.
+fn worker_loop<H: Handler>(inner: &Arc<Inner<H>>, id: usize, parker: Parker) {
+    let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
+    let mut is_active = true;
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Admission gate: surplus pollers cull themselves onto the
+        // passive stack before ever touching epoll.
+        if policy::crew_has_surplus(inner.adm.active.load(Ordering::SeqCst), inner.acs_limit())
+            && inner.try_cull(id)
+        {
+            is_active = false;
+            if !inner.park_passive(id, &parker) {
+                break;
+            }
+            is_active = true;
+            continue;
+        }
+        inner.adm.waiting.fetch_add(1, Ordering::SeqCst);
+        let polled = sys::epoll_wait_events(inner.epfd, &mut events, POLL_MS);
+        inner.adm.waiting.fetch_sub(1, Ordering::SeqCst);
+        inner
+            .adm
+            .last_poll_ms
+            .store(inner.now_ms(), Ordering::Release);
+        inner.epoll_waits.fetch_add(1, Ordering::Relaxed);
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match polled {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("# reactor: epoll_wait failed (worker {id} exiting): {e}");
+                break;
+            }
+        };
+        if n == 0 {
+            inner.decay_boost();
+        } else {
+            let mut ready_conns = 0u64;
+            for ev in &events[..n] {
+                let token = { ev.data };
+                let mask = { ev.events };
+                if token == TOKEN_WAKE {
+                    continue; // shutdown checked at loop top
+                } else if token == TOKEN_LISTENER {
+                    inner.accept_ready();
+                } else {
+                    ready_conns += 1;
+                    inner.conn_ready(token, mask);
+                }
+            }
+            if ready_conns > 0 {
+                inner.ready_hist.record_ns(ready_conns);
+                if inner.fairness_swap(id) {
+                    inner.adm.active.fetch_sub(1, Ordering::SeqCst);
+                    is_active = false;
+                    if !inner.park_passive(id, &parker) {
+                        break;
+                    }
+                    is_active = true;
+                    continue;
+                }
+            }
+        }
+        inner.tick_wheel();
+    }
+    // Exit bookkeeping so post-shutdown gauges read zero.
+    if is_active {
+        inner.adm.active.fetch_sub(1, Ordering::SeqCst);
+    } else {
+        let mut passive = inner
+            .adm
+            .passive
+            .lock()
+            .expect("reactor admission poisoned");
+        passive.retain(|&w| w != id);
+    }
+}

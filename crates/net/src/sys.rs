@@ -1,0 +1,212 @@
+//! Minimal `extern "C"` bindings to the platform libc for the epoll
+//! facility — the one readiness primitive std does not expose.
+//!
+//! The workspace takes no external crates, so the reactor reaches
+//! epoll the same way `std` itself reaches the kernel: through the
+//! always-linked platform libc. Only what the reactor actually needs
+//! is declared — `epoll_create1`/`epoll_ctl`/`epoll_wait`, a
+//! self-wake pipe, and a socket-buffer knob the partial-write tests
+//! use to force `EWOULDBLOCK` on small transfers. Sockets themselves
+//! stay `std::net` types (`TcpListener`/`TcpStream` own their fds and
+//! close them on drop); this module only ever borrows raw fds.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `EPOLL_CTL_ADD`: register a new fd with the epoll instance.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `EPOLL_CTL_DEL`: remove a registered fd.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `EPOLL_CTL_MOD`: change a registered fd's event mask (re-arm).
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (armed only while a partial write is pending).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (delivered regardless of the requested mask).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (delivered regardless of the requested mask).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// One-shot delivery: the fd is disarmed after one event, so exactly
+/// one reactor worker owns a ready connection until it re-arms it.
+/// Without `EPOLLET` the re-arm is level-triggered — if bytes are
+/// still buffered when the worker re-arms, the fd fires again
+/// immediately, so a bounded per-wakeup read budget loses nothing.
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+/// `O_CLOEXEC` / `EPOLL_CLOEXEC` / `O_NONBLOCK` for `pipe2`.
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+
+/// `struct epoll_event` — packed on x86-64 (the kernel declares it
+/// `__attribute__((packed))` on that ABI), naturally aligned
+/// elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event mask (`EPOLLIN` | …).
+    pub events: u32,
+    /// The registration's opaque token (we pack slot index +
+    /// generation).
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds/modifies/removes `fd` on `epfd` with `mask` and `token`.
+pub fn epoll_ctl_op(epfd: RawFd, op: i32, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events: mask,
+        data: token,
+    };
+    // SAFETY: `ev` outlives the call; DEL ignores the event pointer
+    // on modern kernels but passing a valid one is always correct.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Blocks up to `timeout_ms` (-1 = forever) for ready events; fills
+/// `events` and returns how many are valid. `EINTR` is reported as
+/// `Ok(0)` — to a poll loop a signal is just a spurious wakeup.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    // SAFETY: the pointer/len pair describes `events`, which lives
+    // across the call; the kernel writes at most `len` entries.
+    let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// A nonblocking close-on-exec pipe `(read_end, write_end)` — the
+/// reactor's shutdown wake: registered level-triggered and never
+/// drained, so one write makes every subsequent `epoll_wait` return
+/// instantly on every worker.
+pub fn wake_pipe() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0i32; 2];
+    // SAFETY: `fds` is a valid 2-element buffer for the call.
+    let rc = unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Writes one byte to the wake pipe's write end. A full pipe returns
+/// `EAGAIN`, which is fine — the wake is already pending.
+pub fn wake_write(fd: RawFd) {
+    extern "C" {
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+    let byte = 1u8;
+    // SAFETY: one-byte buffer, valid for the call.
+    let _ = unsafe { write(fd, &byte, 1) };
+}
+
+/// Closes a raw fd the reactor owns directly (epoll instance, wake
+/// pipe). Socket fds are owned and closed by their std types.
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: the caller owns `fd` and does not reuse it after this.
+    let _ = unsafe { close(fd) };
+}
+
+const SOL_SOCKET: i32 = 1;
+const SO_RCVBUF: i32 = 8;
+const SO_SNDBUF: i32 = 7;
+
+fn set_buf_opt(fd: RawFd, opt: i32, bytes: i32) -> io::Result<()> {
+    // SAFETY: `bytes` outlives the call; optlen matches its size.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            opt,
+            &bytes,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Shrinks a socket's kernel receive buffer (`SO_RCVBUF`) to roughly
+/// `bytes`. Test-only in spirit: a tiny receive window makes a bulk
+/// response overrun the sender's buffers, forcing the partial-write /
+/// `EPOLLOUT` re-arm path deterministically.
+pub fn set_recv_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    set_buf_opt(fd, SO_RCVBUF, bytes)
+}
+
+/// Shrinks a socket's kernel send buffer (`SO_SNDBUF`) to roughly
+/// `bytes` — the other half of forcing `EWOULDBLOCK` on small
+/// transfers (loopback autotuning otherwise absorbs megabytes).
+pub fn set_send_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    set_buf_opt(fd, SO_SNDBUF, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_instance_creates_and_closes() {
+        let fd = epoll_create().expect("epoll_create1");
+        assert!(fd >= 0);
+        close_fd(fd);
+    }
+
+    #[test]
+    fn wake_pipe_triggers_epoll() {
+        let ep = epoll_create().unwrap();
+        let (r, w) = wake_pipe().unwrap();
+        epoll_ctl_op(ep, EPOLL_CTL_ADD, r, EPOLLIN, 42).unwrap();
+        let mut evs = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing written yet: a zero-timeout wait sees nothing.
+        assert_eq!(epoll_wait_events(ep, &mut evs, 0).unwrap(), 0);
+        wake_write(w);
+        let n = epoll_wait_events(ep, &mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ evs[0].data }, 42);
+        // Level-triggered and never drained: still ready.
+        let n = epoll_wait_events(ep, &mut evs, 0).unwrap();
+        assert_eq!(n, 1);
+        close_fd(ep);
+        close_fd(r);
+        close_fd(w);
+    }
+}

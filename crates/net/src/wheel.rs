@@ -1,0 +1,150 @@
+//! A coarse, lazy timer wheel for idle-connection reaping.
+//!
+//! The threaded server gets idle timeouts for free from
+//! `SO_RCVTIMEO`; a reactor cannot block per connection, so deadlines
+//! move into a shared structure ticked by whichever polling worker
+//! happens to return from `epoll_wait` past the next tick stamp. The
+//! wheel is deliberately *lazy and approximate*:
+//!
+//! - a connection is inserted once at registration and **not**
+//!   rescheduled on activity — the hot path never touches the wheel;
+//! - when a slot comes due, the reaper validates each token against
+//!   the connection's `last_active` stamp and re-inserts the still
+//!   -live ones one timeout further out;
+//! - duplicates and stale tokens (closed or recycled slots) are
+//!   harmless: validation at reap time is the only source of truth.
+//!
+//! The result: a connection idle for `timeout` is reaped within
+//! `[timeout, 2·timeout + granularity)` — the same "coarse but cheap"
+//! contract as the threaded path's blocking-read timeout, at zero
+//! per-request cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Lazily ticked slotted deadline store; see the module docs.
+pub struct TimerWheel {
+    /// Slot width in milliseconds.
+    granularity_ms: u64,
+    /// `slots[i]` holds tokens whose next check falls in slot `i`.
+    slots: Mutex<Slots>,
+    /// Monotonic-ms stamp before which no tick is due; a worker
+    /// claims a tick by CAS-advancing this.
+    next_tick_ms: AtomicU64,
+}
+
+struct Slots {
+    ring: Vec<Vec<u64>>,
+    /// Index of the slot the next tick will drain.
+    cursor: usize,
+}
+
+impl TimerWheel {
+    /// A wheel sized for `timeout`: slot width `timeout / 4`, clamped
+    /// to `[100 ms, 1 s]`, with enough slots to place a deadline one
+    /// full timeout ahead of the cursor.
+    pub fn new(timeout: Duration) -> Self {
+        let granularity_ms = (timeout.as_millis() as u64 / 4).clamp(100, 1_000);
+        let span = timeout.as_millis() as u64 / granularity_ms + 2;
+        TimerWheel {
+            granularity_ms,
+            slots: Mutex::new(Slots {
+                ring: (0..span as usize).map(|_| Vec::new()).collect(),
+                cursor: 0,
+            }),
+            next_tick_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot width in milliseconds (test hook).
+    pub fn granularity_ms(&self) -> u64 {
+        self.granularity_ms
+    }
+
+    /// Inserts `token` to come due roughly `delay` after `now_ms`
+    /// (both in the caller's monotonic-ms clock). The placement is
+    /// rounded *up* a slot so a token never comes due early.
+    pub fn schedule(&self, token: u64, now_ms: u64, delay: Duration) {
+        let mut slots = self.slots.lock().expect("wheel mutex poisoned");
+        let ahead = (delay.as_millis() as u64).div_ceil(self.granularity_ms) + 1;
+        let len = slots.ring.len() as u64;
+        let at = ((slots.cursor as u64 + ahead.min(len - 1)) % len) as usize;
+        slots.ring[at].push(token);
+        // First insertion starts the clock: a wheel with nothing
+        // scheduled never owes a tick.
+        let _ = self.next_tick_ms.compare_exchange(
+            0,
+            now_ms + self.granularity_ms,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Claims and drains every tick due at `now_ms`, returning the
+    /// tokens to validate. At most one caller wins each tick (CAS on
+    /// the stamp), so concurrent pollers never double-drain a slot;
+    /// everyone else gets an empty vec for free.
+    pub fn due(&self, now_ms: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            let next = self.next_tick_ms.load(Ordering::Acquire);
+            if next == 0 || now_ms < next {
+                return out;
+            }
+            if self
+                .next_tick_ms
+                .compare_exchange(
+                    next,
+                    next + self.granularity_ms,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue; // another poller claimed this tick
+            }
+            let mut slots = self.slots.lock().expect("wheel mutex poisoned");
+            let cursor = slots.cursor;
+            slots.cursor = (cursor + 1) % slots.ring.len();
+            out.append(&mut slots.ring[cursor]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_come_due_no_earlier_than_their_delay() {
+        let wheel = TimerWheel::new(Duration::from_millis(400));
+        assert_eq!(wheel.granularity_ms(), 100);
+        wheel.schedule(7, 0, Duration::from_millis(400));
+        // Walk the clock forward; the token must not surface before
+        // 400 ms have elapsed.
+        let mut seen_at = None;
+        for now in (0..2_000).step_by(50) {
+            let due = wheel.due(now);
+            if due.contains(&7) {
+                seen_at = Some(now);
+                break;
+            }
+        }
+        let at = seen_at.expect("token never came due");
+        assert!(at >= 400, "came due early, at {at} ms");
+    }
+
+    #[test]
+    fn each_tick_is_claimed_once() {
+        let wheel = TimerWheel::new(Duration::from_millis(400));
+        for t in 0..32 {
+            wheel.schedule(t, 0, Duration::from_millis(100));
+        }
+        // Sweep far past every deadline: all 32 tokens surface, and a
+        // second sweep of the same instant yields nothing.
+        let first: Vec<u64> = wheel.due(10_000);
+        assert_eq!(first.len(), 32);
+        assert!(wheel.due(10_000).is_empty());
+    }
+}

@@ -24,6 +24,16 @@
 //!   at depth > 1 it includes time queued in the window — deeper
 //!   pipelines trade per-request latency for throughput, which is
 //!   exactly the trade worth measuring.
+//! * `--conns <n>` — **total** connections to hold open. Without it,
+//!   every connection drives load (the classic closed-loop shape).
+//!   With it, only the `--active` subset runs the request loop; the
+//!   rest connect and then sit idle for the whole interval — the
+//!   many-mostly-idle-connections population the reactor front-end
+//!   exists for. Every idle connection is round-tripped (`PING`)
+//!   after the measurement to prove the server kept it alive, and
+//!   the summary reports `open`/`active`.
+//! * `--active <n>` — size of the driving subset under `--conns`
+//!   (default `MALTHUS_KV_CONNS`, i.e. 4; clamped to `--conns`).
 //!
 //! Environment knobs:
 //!
@@ -68,31 +78,56 @@ fn env_u64(name: &str, default: u64) -> u64 {
 /// bookkeeping.
 const MAX_PIPELINE_DEPTH: u64 = 1_024;
 
-/// Parses `--pipeline-depth <n>`, the only flag. Depth 1 is the
-/// classic untagged closed loop; deeper runs the tagged window.
-fn parse_pipeline_depth() -> u64 {
-    let mut depth = env_u64("MALTHUS_KV_PIPELINE_DEPTH", 1);
+/// Parsed command-line flags: window depth plus the connection
+/// population shape.
+struct LoadArgs {
+    depth: u64,
+    /// Total connections to hold open (`--conns`); `None` keeps the
+    /// classic all-active shape sized by `MALTHUS_KV_CONNS`.
+    conns: Option<u64>,
+    /// Driving subset under `--conns` (`--active`).
+    active: Option<u64>,
+}
+
+/// Parses the flags. Depth 1 is the classic untagged closed loop;
+/// deeper runs the tagged window.
+fn parse_load_args() -> LoadArgs {
+    let mut parsed = LoadArgs {
+        depth: env_u64("MALTHUS_KV_PIPELINE_DEPTH", 1),
+        conns: None,
+        active: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("kv_load: {name} needs an integer");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
-            "--pipeline-depth" => {
-                depth = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("kv_load: --pipeline-depth needs an integer");
-                    std::process::exit(2);
-                });
-            }
+            "--pipeline-depth" => parsed.depth = value("--pipeline-depth"),
+            "--conns" => parsed.conns = Some(value("--conns")),
+            "--active" => parsed.active = Some(value("--active")),
             other => {
                 eprintln!("kv_load: unknown argument {other}");
-                eprintln!("usage: kv_load [--pipeline-depth <n>]");
+                eprintln!("usage: kv_load [--pipeline-depth <n>] [--conns <n>] [--active <n>]");
                 std::process::exit(2);
             }
         }
     }
-    if depth == 0 || depth > MAX_PIPELINE_DEPTH {
-        eprintln!("kv_load: --pipeline-depth must be in 1..={MAX_PIPELINE_DEPTH}, got {depth}");
+    if parsed.depth == 0 || parsed.depth > MAX_PIPELINE_DEPTH {
+        eprintln!(
+            "kv_load: --pipeline-depth must be in 1..={MAX_PIPELINE_DEPTH}, got {}",
+            parsed.depth
+        );
         std::process::exit(2);
     }
-    depth
+    if parsed.conns == Some(0) {
+        eprintln!("kv_load: --conns must be positive");
+        std::process::exit(2);
+    }
+    parsed
 }
 
 /// Connects with capped exponential backoff
@@ -114,12 +149,27 @@ struct OpTrack {
 }
 
 fn main() {
-    let depth = parse_pipeline_depth() as usize;
+    let load_args = parse_load_args();
+    let depth = load_args.depth as usize;
     let addr: SocketAddr = std::env::var("MALTHUS_KV_ADDR")
         .unwrap_or_else(|_| DEFAULT_ADDR.to_string())
         .parse()
         .expect("MALTHUS_KV_ADDR must be host:port");
-    let conns = env_u64("MALTHUS_KV_CONNS", 4) as usize;
+    // The connection population: without --conns every connection is
+    // active (the classic shape). With it, `open` total connections
+    // are held, only `active` of them drive requests, and the
+    // `open - active` remainder sit idle — the population a
+    // readiness-driven server should carry for the cost of buffers.
+    let active_default = env_u64("MALTHUS_KV_CONNS", 4) as usize;
+    let (open, conns) = match load_args.conns {
+        Some(total) => {
+            let total = total as usize;
+            let active = load_args.active.map_or(active_default, |a| a as usize);
+            (total, active.min(total).max(1))
+        }
+        None => (active_default, active_default),
+    };
+    let idle_count = open - conns;
     let seconds = env_u64("MALTHUS_KV_SECONDS", 2);
     let keys = env_u64("MALTHUS_KV_KEYS", 10_000).max(1);
     let put_pct = env_u64("MALTHUS_KV_PUT_PCT", 20).min(100);
@@ -127,9 +177,13 @@ fn main() {
     let send_shutdown = std::env::var("MALTHUS_KV_SHUTDOWN").is_ok_and(|v| v == "1");
 
     eprintln!(
-        "# kv_load: {conns} connections x {seconds} s against {addr} \
-         (pipeline depth {depth}, {put_pct}% PUT, {mget_pct}% MGET)"
+        "# kv_load: {open} connections ({conns} active, {idle_count} idle) x {seconds} s \
+         against {addr} (pipeline depth {depth}, {put_pct}% PUT, {mget_pct}% MGET)"
     );
+    // The idle population connects first (no threads: the sockets
+    // just sit in this Vec) so the active loop's traffic arrives at a
+    // server already carrying the full connection count.
+    let mut idle_pool: Vec<KvClient> = (0..idle_count).map(|_| connect_with_retry(addr)).collect();
     // Separate per-op-type histograms: the DB locks are Malthusian
     // RW locks, so each path has a different admission cost and
     // lumping them together would hide the read-side win. They merge
@@ -280,8 +334,24 @@ fn main() {
         all_hist.merge(&t.hist);
     }
 
+    // The idle pool must have survived the whole interval: a server
+    // that reaped or dropped them (without an idle timeout configured)
+    // fails the run here.
+    let mut idle_alive = 0usize;
+    for c in idle_pool.iter_mut() {
+        match c.roundtrip("PING") {
+            Ok("PONG") => idle_alive += 1,
+            Ok(other) => panic!("idle connection answered {other:?} to PING"),
+            Err(e) => panic!("idle connection died during the run: {e}"),
+        }
+    }
+    assert_eq!(idle_alive, idle_count, "idle connections lost");
+
     let us = |d: Duration| d.as_secs_f64() * 1e6;
-    let mut line = format!("ops {total}  ops/s {:.0}", total as f64 / elapsed);
+    let mut line = format!(
+        "open {open}  active {conns}  ops {total}  ops/s {:.0}",
+        total as f64 / elapsed
+    );
     for t in &tracks {
         let (p50, p99) = t.hist.p50_p99();
         line.push_str(&format!(

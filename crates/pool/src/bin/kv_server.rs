@@ -44,6 +44,14 @@
 //!   stage clocks off (`kv_stage_ns` and `SLOWLOG` stop collecting;
 //!   the remaining cost is one relaxed load per instrumentation
 //!   point).
+//! * `--async` / `MALTHUS_KV_ASYNC=1` — serve through the
+//!   readiness-driven reactor front-end (`malthus-net`) instead of a
+//!   thread per connection: `--workers` reactor threads share one
+//!   epoll instance with `epoll_wait` admission Malthusian-restricted
+//!   to the same ACS target, and ready batches execute in place on
+//!   the polling worker. Byte-identical protocol; idle connections
+//!   cost a buffer pair instead of a thread, and `--read-timeout-secs`
+//!   reaps them via the reactor's timer wheel.
 //!
 //! With restriction on, the crew's ACS target is
 //! `min(workers, cpus, shards)`: one hot lock pair deserves one
@@ -61,7 +69,7 @@ use std::time::Duration;
 
 use malthus_pool::kv::{self, KvService, ServeOptions, DEFAULT_ADDR, DEFAULT_SHARDS};
 use malthus_pool::kv::{DEFAULT_CACHE_BLOCKS, DEFAULT_MEMTABLE_LIMIT};
-use malthus_pool::{PoolConfig, WorkCrew};
+use malthus_pool::{serve_async, AsyncServeOptions, PoolConfig, WorkCrew};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -84,6 +92,7 @@ struct Options {
     trace_sample: usize,
     slowlog_threshold_us: u64,
     no_spans: bool,
+    r#async: bool,
 }
 
 fn usage() -> ! {
@@ -91,7 +100,7 @@ fn usage() -> ! {
         "usage: kv_server [--addr <host:port>] [--shards <n>] [--workers <n>] \
          [--queue <n>] [--unrestricted] [--data-dir <path>] [--no-wal] \
          [--read-timeout-secs <n>] [--trace-buf <n>] [--trace-sample <n>] \
-         [--slowlog-threshold-us <n>] [--no-spans]"
+         [--slowlog-threshold-us <n>] [--no-spans] [--async]"
     );
     std::process::exit(2);
 }
@@ -125,6 +134,7 @@ fn parse_args(cpus: usize) -> Options {
             .and_then(|v| v.parse().ok())
             .unwrap_or(kv::DEFAULT_SLOWLOG_THRESHOLD_US),
         no_spans: std::env::var("MALTHUS_KV_NO_SPANS").is_ok_and(|v| v == "1"),
+        r#async: std::env::var("MALTHUS_KV_ASYNC").is_ok_and(|v| v == "1"),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -162,6 +172,7 @@ fn parse_args(cpus: usize) -> Options {
                 }
             },
             "--no-spans" => opts.no_spans = true,
+            "--async" => opts.r#async = true,
             _ => usage(),
         }
     }
@@ -175,17 +186,27 @@ fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let opts = parse_args(cpus);
 
+    // One circulating thread per independent admission point (shard),
+    // bounded by cores and worker count — the same sizing whether the
+    // admitted resource is the crew's task queue or the reactor's
+    // `epoll_wait`.
+    let acs = if opts.unrestricted {
+        opts.workers
+    } else {
+        opts.workers.min(cpus).min(opts.shards).max(1)
+    };
     let cfg = if opts.unrestricted {
         PoolConfig::unrestricted(opts.workers, opts.queue)
     } else {
-        // One circulating thread per independent admission point
-        // (shard), bounded by cores and crew size.
-        let acs = opts.workers.min(cpus).min(opts.shards).max(1);
         PoolConfig::malthusian(opts.workers, opts.queue).with_acs_target(acs)
     };
     eprintln!(
-        "# kv_server: {} shards, {} workers (ACS target {}), queue bound {}, {cpus} host CPUs",
-        opts.shards, opts.workers, cfg.acs_target, opts.queue
+        "# kv_server: {} front-end, {} shards, {} workers (ACS target {acs}), \
+         queue bound {}, {cpus} host CPUs",
+        if opts.r#async { "reactor" } else { "threaded" },
+        opts.shards,
+        opts.workers,
+        opts.queue
     );
 
     if opts.trace_buf > 0 {
@@ -256,25 +277,33 @@ fn main() {
     let (listener, control) = kv::bind(&opts.addr).expect("bind listen address");
     println!("listening on {}", control.addr());
 
-    let serve_opts = ServeOptions {
-        read_timeout: (opts.read_timeout_secs > 0)
-            .then(|| Duration::from_secs(opts.read_timeout_secs as u64)),
-    };
-    let crew = Arc::new(WorkCrew::new(cfg));
-    kv::serve_with(
-        listener,
-        &control,
-        Arc::clone(&crew),
-        Arc::clone(&service),
-        serve_opts,
-    )
-    .expect("accept loop failed");
+    let read_timeout =
+        (opts.read_timeout_secs > 0).then(|| Duration::from_secs(opts.read_timeout_secs as u64));
+    if opts.r#async {
+        let async_opts = AsyncServeOptions {
+            workers: opts.workers,
+            acs_target: acs,
+            read_timeout,
+        };
+        serve_async(listener, &control, Arc::clone(&service), async_opts).expect("reactor failed");
+    } else {
+        let serve_opts = ServeOptions { read_timeout };
+        let crew = Arc::new(WorkCrew::new(cfg));
+        kv::serve_with(
+            listener,
+            &control,
+            Arc::clone(&crew),
+            Arc::clone(&service),
+            serve_opts,
+        )
+        .expect("accept loop failed");
 
-    let stats = crew.shutdown();
-    eprintln!(
-        "# kv_server: completed={} culls={} reprovisions={} promotions={}",
-        stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
-    );
+        let stats = crew.shutdown();
+        eprintln!(
+            "# kv_server: completed={} culls={} reprovisions={} promotions={}",
+            stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
+        );
+    }
     // How much per-wakeup batching the pipelined connections achieved
     // (batch = the lock-admission, fsync and write-flush unit).
     let p = service.pipeline_stats();

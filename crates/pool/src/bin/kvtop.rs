@@ -343,6 +343,28 @@ fn render(
         later.exp.get("kv_hottest_shard_write_share"),
         later.exp.get("kv_idle_disconnects_total"),
     );
+    // Reactor panel: present only when the server runs the async
+    // front-end (its registration is what creates these series).
+    if later.exp.value("kv_conns_open", &[]).is_some() {
+        let ready_q = interval_quantiles(&later.exp, &earlier.exp, "kv_reactor_ready_batch", &[])
+            .map_or("-/-".to_string(), |(p50, p99)| format!("{p50:.0}/{p99:.0}"));
+        let _ = writeln!(
+            f,
+            "reactor conns {:.0}  pollers active {:.0}  passive {:.0}   epoll_waits/s {:.0}   \
+             ready batch p50/p99 {ready_q}   partial flushes {:.0}",
+            later.exp.get("kv_conns_open"),
+            later
+                .exp
+                .value("kv_reactor_workers", &[("state", "active")])
+                .unwrap_or(0.0),
+            later
+                .exp
+                .value("kv_reactor_workers", &[("state", "passive")])
+                .unwrap_or(0.0),
+            rate(later, earlier, "kv_epoll_waits_total", &[]),
+            later.exp.get("kv_reactor_partial_flushes_total"),
+        );
+    }
     render_waterfall(&mut f, later, earlier);
     if slowlog > 0 {
         render_slowlog(&mut f, later, slowlog);

@@ -116,6 +116,55 @@ use crate::crew::WorkCrew;
 /// shard.
 pub const READONLY_ERR: &str = "ERR shard readonly";
 
+/// Admission-control counters the `STATS` verb renders — the only
+/// thing request execution ever asks its admission layer for.
+///
+/// Both front-ends implement the supplying trait: the threaded
+/// server's [`WorkCrew`] (task admission) and the reactor front-end's
+/// poll-admission pool, so [`KvService::apply_batch_span`] is
+/// front-end-agnostic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Admission units completed (crew tasks / reactor ready-batches).
+    pub completed: u64,
+    /// Workers culled onto the passive stack.
+    pub culls: u64,
+    /// Passive workers promoted on a stall.
+    pub reprovisions: u64,
+    /// Episodic eldest-fairness promotions.
+    pub promotions: u64,
+}
+
+/// Source of the [`AdmissionSnapshot`] that `STATS` reports.
+pub trait AdmissionStats {
+    /// Racy counter snapshot (exact while quiescent).
+    fn admission_snapshot(&self) -> AdmissionSnapshot;
+}
+
+impl AdmissionStats for WorkCrew {
+    fn admission_snapshot(&self) -> AdmissionSnapshot {
+        let s = self.stats();
+        AdmissionSnapshot {
+            completed: s.completed,
+            culls: s.culls,
+            reprovisions: s.reprovisions,
+            promotions: s.fairness_promotions,
+        }
+    }
+}
+
+impl<T: AdmissionStats + ?Sized> AdmissionStats for &T {
+    fn admission_snapshot(&self) -> AdmissionSnapshot {
+        (**self).admission_snapshot()
+    }
+}
+
+impl<T: AdmissionStats + ?Sized> AdmissionStats for Arc<T> {
+    fn admission_snapshot(&self) -> AdmissionSnapshot {
+        (**self).admission_snapshot()
+    }
+}
+
 /// Default TCP address for the server and load-generator binaries.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 /// Memtable entries before a shard's MiniKv freezes a run.
@@ -280,6 +329,19 @@ fn write_tag(out: &mut String, tag: Option<u64>) {
     }
 }
 
+/// [`write_tag`] + body + newline straight into a byte buffer — the
+/// reactor front-end renders control-verb replies into the reactor's
+/// write buffer rather than a `String`.
+pub(crate) fn write_tag_line(out: &mut Vec<u8>, tag: Option<u64>, body: &str) {
+    if let Some(t) = tag {
+        let mut prefix = String::new();
+        let _ = write!(prefix, "#{t} ");
+        out.extend_from_slice(prefix.as_bytes());
+    }
+    out.extend_from_slice(body.as_bytes());
+    out.push(b'\n');
+}
+
 /// Service-wide pipeline observability: how much batching the drained
 /// wakeups actually achieved, and what each batch cost to execute.
 ///
@@ -309,13 +371,13 @@ pub struct PipelineStats {
 
 impl PipelineStats {
     /// Records one drained batch of `n` requests (live counters).
-    fn note_batch(&self, n: u64) {
+    pub(crate) fn note_batch(&self, n: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.max_batch.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Records the wall time one drained batch took to execute.
-    fn note_drain_ns(&self, ns: u64) {
+    pub(crate) fn note_drain_ns(&self, ns: u64) {
         self.drain_ns.record_ns(ns);
     }
 
@@ -551,7 +613,7 @@ impl KvService {
         self.idle_disconnects.load(Ordering::Relaxed)
     }
 
-    fn note_idle_disconnect(&self) {
+    pub(crate) fn note_idle_disconnect(&self) {
         self.idle_disconnects.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -652,16 +714,16 @@ impl KvService {
     /// Convenience wrapper over [`KvService::apply_into`] for tests
     /// and one-off callers; the connection handler renders into a
     /// reused per-connection buffer instead.
-    pub fn apply(&self, req: Request, crew: &WorkCrew) -> String {
+    pub fn apply<A: AdmissionStats>(&self, req: Request, admission: &A) -> String {
         let mut out = String::new();
-        self.apply_into(&req, crew, &mut out);
+        self.apply_into(&req, admission, &mut out);
         out
     }
 
     /// Executes a request, appending its response line (without the
     /// trailing newline) to `out` — `write!` into a caller-reused
     /// buffer, no per-request response allocation.
-    pub fn apply_into(&self, req: &Request, crew: &WorkCrew, out: &mut String) {
+    pub fn apply_into<A: AdmissionStats>(&self, req: &Request, admission: &A, out: &mut String) {
         match req {
             Request::Put(k, v) => match self.put(*k, *v) {
                 Ok(()) => out.push_str("OK"),
@@ -706,7 +768,7 @@ impl KvService {
                 // once, not twice.
                 let store = self.store.stats();
                 let (reads, writes) = (store.reads(), store.writes());
-                let s = crew.stats();
+                let s = admission.admission_snapshot();
                 let db = store.db_lock_totals();
                 let (bp50, bp99) = self.pipeline.batch_quantiles();
                 let _ = write!(
@@ -719,7 +781,7 @@ impl KvService {
                     s.completed,
                     s.culls,
                     s.reprovisions,
-                    s.fairness_promotions,
+                    s.promotions,
                     db.reader_culls,
                     db.reader_reprovisions + db.reader_fairness_grants,
                     self.pipeline.batches(),
@@ -825,8 +887,13 @@ impl KvService {
     /// skips the grouping machinery entirely and takes the direct
     /// single-op paths — the pre-pipelining hot path, allocation-free
     /// on GET/PUT.
-    pub fn apply_batch(&self, batch: &[Parsed], crew: &WorkCrew, out: &mut String) {
-        self.apply_batch_span(batch, crew, out, &mut SpanContext::detached());
+    pub fn apply_batch<A: AdmissionStats>(
+        &self,
+        batch: &[Parsed],
+        admission: &A,
+        out: &mut String,
+    ) {
+        self.apply_batch_span(batch, admission, out, &mut SpanContext::detached());
     }
 
     /// [`KvService::apply_batch`] with span tracing. The batch's lock
@@ -837,10 +904,10 @@ impl KvService {
     /// [`ShardedKv::execute_batch_span`], and whatever execution time
     /// remains after subtracting those becomes the `exec` stage — so
     /// the stage sum tracks the batch's wall time by construction.
-    pub fn apply_batch_span(
+    pub fn apply_batch_span<A: AdmissionStats>(
         &self,
         batch: &[Parsed],
-        crew: &WorkCrew,
+        admission: &A,
         out: &mut String,
         span: &mut SpanContext,
     ) {
@@ -880,7 +947,7 @@ impl KvService {
             let p = &batch[i];
             write_tag(out, p.tag);
             match &p.body {
-                Ok(req) => self.apply_into(req, crew, out),
+                Ok(req) => self.apply_into(req, admission, out),
                 Err(e) => {
                     let _ = write!(out, "ERR {e}");
                 }
@@ -958,7 +1025,7 @@ impl std::fmt::Debug for KvService {
 /// Handle used to stop a running [`serve`] loop.
 #[derive(Clone)]
 pub struct ServerControl {
-    stop: Arc<AtomicBool>,
+    pub(crate) stop: Arc<AtomicBool>,
     addr: SocketAddr,
 }
 
@@ -1306,17 +1373,29 @@ impl KvClient {
     /// default schedule ([`CONNECT_TRIES`]) gives up after ~70 ms —
     /// CI wrappers that race `cargo run` startup pass a larger
     /// `tries`.
+    /// Each sleep is jittered ±25%: a thousand clients reconnecting
+    /// to a restarted server would otherwise retry in lockstep and
+    /// arrive as a synchronized stampede on every backoff step.
     pub fn connect_with_backoff(addr: SocketAddr, tries: u32) -> std::io::Result<Self> {
         let tries = tries.max(1);
         let mut delay = CONNECT_FIRST_DELAY;
         let mut last_err = None;
+        // Seeded per call from the wall clock (nonzero by | 1), so
+        // concurrent clients desynchronize from each other.
+        let rng = malthus_park::XorShift64::new(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(1, |d| d.as_nanos() as u64)
+                | 1,
+        );
         for attempt in 0..tries {
             match Self::connect(addr) {
                 Ok(client) => return Ok(client),
                 Err(e) => last_err = Some(e),
             }
             if attempt + 1 < tries {
-                std::thread::sleep(delay);
+                let jitter_pct = 75 + rng.next_below(51); // 75..=125
+                std::thread::sleep(delay.mul_f64(jitter_pct as f64 / 100.0));
                 delay = (delay * 2).min(CONNECT_DELAY_CAP);
             }
         }
@@ -1864,8 +1943,9 @@ mod tests {
         let err = KvClient::connect_with_backoff(addr, 3).unwrap_err();
         let elapsed = started.elapsed();
         assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
-        // Two sleeps: 10 ms + 20 ms (under the 40 ms cap).
-        assert!(elapsed >= Duration::from_millis(30), "{elapsed:?}");
+        // Two sleeps: 10 ms + 20 ms (under the 40 ms cap), each
+        // jittered down to 75% at worst — so at least 22.5 ms.
+        assert!(elapsed >= Duration::from_millis(22), "{elapsed:?}");
         // And the racy-start case it exists for: a listener that
         // appears between attempts is reached.
         let (listener, control) = bind("127.0.0.1:0").unwrap();

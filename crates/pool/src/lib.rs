@@ -52,6 +52,8 @@
 
 mod crew;
 pub mod kv;
+pub mod kv_async;
 
 pub use crew::{PoolConfig, PoolStats, SubmitError, Task, WorkCrew, DEFAULT_STALL_THRESHOLD};
 pub use kv::{KvClient, KvService, Parsed, PipelineStats, Request, ServeOptions, ServerControl};
+pub use kv_async::{serve_async, AsyncServeOptions, KvHandler};

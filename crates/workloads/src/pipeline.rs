@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use malthus_park::XorShift64;
 use malthus_pool::kv::{self, KvService};
-use malthus_pool::{KvClient, PoolConfig, WorkCrew};
+use malthus_pool::{serve_async, AsyncServeOptions, KvClient, PoolConfig, WorkCrew};
 
 /// Per-shard memtable limit for the workload store: large enough that
 /// run freezes are rare during a cell, so the measured exclusive
@@ -155,7 +155,24 @@ pub fn run_pipeline_loop(
     seed: u64,
 ) -> PipelineReport {
     let service = Arc::new(KvService::with_shards(shards, MEMTABLE_LIMIT, CACHE_BLOCKS));
-    run_pipeline_on(service, conns, seconds, shape, seed)
+    run_pipeline_on(service, conns, seconds, shape, seed, FrontEnd::Threaded)
+}
+
+/// [`run_pipeline_loop`] against the **reactor front-end**
+/// ([`serve_async`]): same memory-only store, same windowed clients,
+/// same report — only the server side changes from thread-per-
+/// connection + crew to readiness-driven reactor workers with
+/// Malthusian poll admission. `bench_net` sweeps this against the
+/// threaded `BENCH_pipeline.json` cells.
+pub fn run_pipeline_loop_async(
+    shards: usize,
+    conns: usize,
+    seconds: f64,
+    shape: PipelineShape,
+    seed: u64,
+) -> PipelineReport {
+    let service = Arc::new(KvService::with_shards(shards, MEMTABLE_LIMIT, CACHE_BLOCKS));
+    run_pipeline_on(service, conns, seconds, shape, seed, FrontEnd::Reactor)
 }
 
 /// [`run_pipeline_loop`] against a **durable** store rooted at `dir`:
@@ -186,7 +203,18 @@ pub fn run_pipeline_loop_durable(
         seconds,
         shape,
         seed,
+        FrontEnd::Threaded,
     ))
+}
+
+/// Which server front-end a pipeline cell boots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrontEnd {
+    /// Thread-per-connection readers dispatching onto a [`WorkCrew`].
+    Threaded,
+    /// The `malthus-net` reactor: poll-admitted workers, ready
+    /// connections drained as batches in place.
+    Reactor,
 }
 
 /// The shared measurement core: boots the serve loop over an
@@ -198,16 +226,27 @@ fn run_pipeline_on(
     seconds: f64,
     shape: PipelineShape,
     seed: u64,
+    front: FrontEnd,
 ) -> PipelineReport {
     let shards = service.store().shard_count();
     let (listener, control) = kv::bind("127.0.0.1:0").expect("bind loopback");
     let addr = control.addr();
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let workers = (2 * conns).max(4);
+    // The reactor needs no thread per connection, so its pool stays
+    // small; the threaded crew is sized as `kv_server` sizes it.
+    let workers = match front {
+        FrontEnd::Threaded => (2 * conns).max(4),
+        FrontEnd::Reactor => cpus.max(2),
+    };
     let acs = workers.min(cpus).min(shards).max(1);
-    let crew = Arc::new(WorkCrew::new(
-        PoolConfig::malthusian(workers, 256).with_acs_target(acs),
-    ));
+    // Only the threaded front-end dispatches onto a crew; building
+    // one for a reactor cell would just park idle threads during the
+    // measurement.
+    let crew = (front == FrontEnd::Threaded).then(|| {
+        Arc::new(WorkCrew::new(
+            PoolConfig::malthusian(workers, 256).with_acs_target(acs),
+        ))
+    });
     // Prefill so the GET side of the mix can hit. Chunked MSETs keep
     // this cheap on a durable store: one group commit per chunk per
     // shard instead of one fsync per key.
@@ -235,11 +274,23 @@ fn run_pipeline_on(
     let writes_before = before.writes();
     let wal_syncs_before = before.wal_syncs();
 
-    let server = {
-        let crew = Arc::clone(&crew);
-        let service = Arc::clone(&service);
-        let control = control.clone();
-        std::thread::spawn(move || kv::serve(listener, &control, crew, service))
+    let server = match (&crew, front) {
+        (Some(crew), FrontEnd::Threaded) => {
+            let crew = Arc::clone(crew);
+            let service = Arc::clone(&service);
+            let control = control.clone();
+            std::thread::spawn(move || kv::serve(listener, &control, crew, service))
+        }
+        _ => {
+            let service = Arc::clone(&service);
+            let control = control.clone();
+            let opts = AsyncServeOptions {
+                workers,
+                acs_target: acs,
+                read_timeout: None,
+            };
+            std::thread::spawn(move || serve_async(listener, &control, service, opts))
+        }
     };
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -382,7 +433,9 @@ fn run_pipeline_on(
         exclusive_episodes: episodes_after.saturating_sub(episodes_before),
         wal_syncs: after.wal_syncs().saturating_sub(wal_syncs_before),
     };
-    crew.shutdown();
+    if let Some(crew) = crew {
+        crew.shutdown();
+    }
     report
 }
 
@@ -402,6 +455,22 @@ mod tests {
         assert_eq!(report.batches, report.ops());
         // Every server-side PUT paid its own admission.
         assert_eq!(report.exclusive_episodes, report.server_writes);
+    }
+
+    #[test]
+    fn reactor_front_end_serves_the_same_loop() {
+        let report = run_pipeline_loop_async(2, 2, 0.2, PipelineShape::new(1_000, 20, 8), 13);
+        assert!(report.ops() > 0);
+        assert_eq!(report.errors, 0);
+        assert!(report.batches > 0);
+        // Same amortization law as the threaded front-end: a batched
+        // exclusive hold covers at least one write.
+        assert!(
+            report.exclusive_episodes <= report.server_writes,
+            "episodes {} > writes {}",
+            report.exclusive_episodes,
+            report.server_writes
+        );
     }
 
     #[test]
