@@ -390,8 +390,26 @@ impl<H: Handler> Reactor<H> {
                 .filter_map(|e| e.conn.take())
                 .collect()
         };
+        // Graceful drain: a connection with a response still parked in
+        // `write_buf` gets a bounded chance to take delivery before we
+        // force-close. The sockets are nonblocking, so busy-retry with
+        // a short sleep under an overall deadline — shutdown must not
+        // hang on a peer that stopped reading.
+        let drain_deadline = Instant::now() + Duration::from_millis(250);
         for arc in remaining {
             let mut c = arc.lock().expect("reactor conn poisoned");
+            let conn = &mut *c;
+            while !conn.closed && conn.write_pending() && Instant::now() < drain_deadline {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => break,
+                    Ok(n) => conn.write_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
             if !c.closed {
                 c.closed = true;
                 self.inner.conns_open.fetch_sub(1, Ordering::SeqCst);
@@ -746,6 +764,13 @@ impl<H: Handler> Inner<H> {
     /// `WouldBlock` (caller re-arms `EPOLLOUT`).
     fn flush(&self, c: &mut Connection<H>) -> io::Result<bool> {
         while c.write_pending() {
+            // An injected EAGAIN on the write side forces the partial-
+            // flush path: the response parks in `write_buf` and waits
+            // for a (real) EPOLLOUT.
+            if malthus_fault::fire(malthus_fault::Site::NetEagain) {
+                self.partial_flushes.fetch_add(1, Ordering::Relaxed);
+                return Ok(false);
+            }
             match c.stream.write(&c.write_buf[c.write_pos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => c.write_pos += n,
@@ -801,7 +826,19 @@ impl<H: Handler> Inner<H> {
             loop {
                 let len = conn.read_buf.len();
                 conn.read_buf.resize(len + READ_CHUNK, 0);
-                let got = conn.stream.read(&mut conn.read_buf[len..]);
+                // Fault injection ahead of the real read: a planned
+                // reset exercises the error-close path, a planned
+                // EAGAIN the spurious-readiness re-arm path.
+                let got = if malthus_fault::fire(malthus_fault::Site::NetReset) {
+                    Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected connection reset",
+                    ))
+                } else if malthus_fault::fire(malthus_fault::Site::NetEagain) {
+                    Err(io::ErrorKind::WouldBlock.into())
+                } else {
+                    conn.stream.read(&mut conn.read_buf[len..])
+                };
                 match got {
                     Ok(0) => {
                         conn.read_buf.truncate(len);

@@ -98,6 +98,12 @@ pub fn epoll_wait_events(
     events: &mut [EpollEvent],
     timeout_ms: i32,
 ) -> io::Result<usize> {
+    // Injected EINTR takes the same path a real signal would: the
+    // caller sees a spurious wakeup and must re-poll without losing
+    // registered interest.
+    if malthus_fault::fire(malthus_fault::Site::NetEintr) {
+        return Ok(0);
+    }
     // SAFETY: the pointer/len pair describes `events`, which lives
     // across the call; the kernel writes at most `len` entries.
     let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };

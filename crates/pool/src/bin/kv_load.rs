@@ -34,6 +34,9 @@
 //!   the summary reports `open`/`active`.
 //! * `--active <n>` — size of the driving subset under `--conns`
 //!   (default `MALTHUS_KV_CONNS`, i.e. 4; clamped to `--conns`).
+//! * `--fail-on-err` — exit nonzero if *any* request drew an `ERR`
+//!   response or an I/O error. The summary still prints first, so CI
+//!   smokes get both the numbers and a hard verdict.
 //!
 //! Environment knobs:
 //!
@@ -87,6 +90,8 @@ struct LoadArgs {
     conns: Option<u64>,
     /// Driving subset under `--conns` (`--active`).
     active: Option<u64>,
+    /// Exit nonzero when any request errored (`--fail-on-err`).
+    fail_on_err: bool,
 }
 
 /// Parses the flags. Depth 1 is the classic untagged closed loop;
@@ -96,6 +101,7 @@ fn parse_load_args() -> LoadArgs {
         depth: env_u64("MALTHUS_KV_PIPELINE_DEPTH", 1),
         conns: None,
         active: None,
+        fail_on_err: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -109,9 +115,13 @@ fn parse_load_args() -> LoadArgs {
             "--pipeline-depth" => parsed.depth = value("--pipeline-depth"),
             "--conns" => parsed.conns = Some(value("--conns")),
             "--active" => parsed.active = Some(value("--active")),
+            "--fail-on-err" => parsed.fail_on_err = true,
             other => {
                 eprintln!("kv_load: unknown argument {other}");
-                eprintln!("usage: kv_load [--pipeline-depth <n>] [--conns <n>] [--active <n>]");
+                eprintln!(
+                    "usage: kv_load [--pipeline-depth <n>] [--conns <n>] [--active <n>] \
+                     [--fail-on-err]"
+                );
                 std::process::exit(2);
             }
         }
@@ -383,5 +393,11 @@ fn main() {
         let mut c = connect_with_retry(addr);
         let resp = c.roundtrip("SHUTDOWN").expect("SHUTDOWN round trip");
         eprintln!("# kv_load: shutdown -> {resp}");
+    }
+
+    let errored = errors.load(Ordering::Relaxed);
+    if load_args.fail_on_err && errored > 0 {
+        eprintln!("# kv_load: --fail-on-err: {errored} request(s) failed");
+        std::process::exit(1);
     }
 }

@@ -4,7 +4,14 @@
 //! execution dispatched onto a concurrency-restricting [`WorkCrew`]
 //! over a sharded store: `--shards N` gives each of N shards its own
 //! Malthusian RW-CR DB lock and block-cache lock, so admission is
-//! per shard. Runs until a client sends `SHUTDOWN`.
+//! per shard. Runs until a client sends `SHUTDOWN` or the process
+//! receives `SIGTERM`; either way the server stops accepting, drains
+//! in-flight batches, final-fsyncs every healthy shard and stamps a
+//! clean-shutdown marker in the data dir's `MANIFEST` (reported by
+//! the recovery banner on the next boot). On a durable store a
+//! background healer probes read-only (poisoned) shards with capped
+//! jittered exponential backoff and flips them writable when their
+//! WAL answers an fsync again.
 //!
 //! Flags (each falls back to the matching environment knob):
 //!
@@ -44,6 +51,12 @@
 //!   stage clocks off (`kv_stage_ns` and `SLOWLOG` stop collecting;
 //!   the remaining cost is one relaxed load per instrumentation
 //!   point).
+//! * `--fault-plan <spec>` / `MALTHUS_FAULT_PLAN` — arm the
+//!   deterministic fault-injection layer (`malthus-fault`) for this
+//!   process: e.g. `seed=7,storage.fsync=0.01x3,net.reset=0.001`.
+//!   The effective seed is printed (`fault plan armed: seed=…`) so
+//!   any run can be replayed exactly; injection counters are exposed
+//!   as `kv_faults_injected_total{site=…}` via `METRICS`.
 //! * `--async` / `MALTHUS_KV_ASYNC=1` — serve through the
 //!   readiness-driven reactor front-end (`malthus-net`) instead of a
 //!   thread per connection: `--workers` reactor threads share one
@@ -64,12 +77,32 @@
 //! `--shards` toward the core count there, or pass `--unrestricted`;
 //! the measure-and-adapt ACS the ROADMAP plans is the real fix.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use malthus_pool::kv::{self, KvService, ServeOptions, DEFAULT_ADDR, DEFAULT_SHARDS};
 use malthus_pool::kv::{DEFAULT_CACHE_BLOCKS, DEFAULT_MEMTABLE_LIMIT};
 use malthus_pool::{serve_async, AsyncServeOptions, PoolConfig, WorkCrew};
+use malthus_storage::{spawn_healer, HealerConfig};
+
+/// Set (only) by the `SIGTERM` handler; a watcher thread turns it
+/// into a normal [`ServerControl::stop`].
+///
+/// [`ServerControl::stop`]: malthus_pool::kv::ServerControl::stop
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)` — the one-liner FFI that keeps this std-only.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Async-signal-safe by construction: a single atomic store.
+extern "C" fn on_sigterm(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -93,6 +126,7 @@ struct Options {
     slowlog_threshold_us: u64,
     no_spans: bool,
     r#async: bool,
+    fault_plan: Option<String>,
 }
 
 fn usage() -> ! {
@@ -100,7 +134,8 @@ fn usage() -> ! {
         "usage: kv_server [--addr <host:port>] [--shards <n>] [--workers <n>] \
          [--queue <n>] [--unrestricted] [--data-dir <path>] [--no-wal] \
          [--read-timeout-secs <n>] [--trace-buf <n>] [--trace-sample <n>] \
-         [--slowlog-threshold-us <n>] [--no-spans] [--async]"
+         [--slowlog-threshold-us <n>] [--no-spans] [--async] \
+         [--fault-plan <spec>]"
     );
     std::process::exit(2);
 }
@@ -135,6 +170,9 @@ fn parse_args(cpus: usize) -> Options {
             .unwrap_or(kv::DEFAULT_SLOWLOG_THRESHOLD_US),
         no_spans: std::env::var("MALTHUS_KV_NO_SPANS").is_ok_and(|v| v == "1"),
         r#async: std::env::var("MALTHUS_KV_ASYNC").is_ok_and(|v| v == "1"),
+        fault_plan: std::env::var("MALTHUS_FAULT_PLAN")
+            .ok()
+            .filter(|p| !p.is_empty()),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -173,6 +211,10 @@ fn parse_args(cpus: usize) -> Options {
             },
             "--no-spans" => opts.no_spans = true,
             "--async" => opts.r#async = true,
+            "--fault-plan" => match args.next() {
+                Some(p) => opts.fault_plan = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -185,6 +227,23 @@ fn parse_args(cpus: usize) -> Options {
 fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let opts = parse_args(cpus);
+
+    // Arm fault injection before the store opens: the WAL layer
+    // checks `storage_armed()` at open to decide whether to wrap its
+    // file I/O in `ChaosWalIo`.
+    if let Some(spec) = &opts.fault_plan {
+        let plan = match malthus_fault::FaultPlan::parse(spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("kv_server: bad --fault-plan: {e}");
+                usage();
+            }
+        };
+        let seed = malthus_fault::install(&plan);
+        // The replay line: paste this exact spec back into
+        // `--fault-plan` to reproduce the schedule.
+        eprintln!("# kv_server: fault plan armed: {}", plan.render(seed));
+    }
 
     // One circulating thread per independent admission point (shard),
     // bounded by cores and worker count — the same sizing whether the
@@ -242,16 +301,25 @@ fn main() {
                 DEFAULT_CACHE_BLOCKS,
             )
             .expect("open data dir");
-            // The recovery banner: what the WALs gave back.
+            // The recovery banner: what the WALs gave back, and
+            // whether the previous incarnation got to say goodbye
+            // (the marker is consumed by the open, so a crash before
+            // the next stamp reports unclean).
             eprintln!(
                 "# kv_server: recovered {} pairs in {} records from {} \
-                 (torn_tails={} bad_records={} checkpointed={})",
+                 (torn_tails={} bad_records={} checkpointed={}), \
+                 previous shutdown: {}",
                 report.pairs(),
                 report.records(),
                 dir.display(),
                 report.torn_tails(),
                 report.bad_records(),
                 report.checkpointed(),
+                if report.clean_marker {
+                    "clean"
+                } else {
+                    "unclean (crash, kill, or first boot)"
+                },
             );
             if report.bad_records() > 0 {
                 eprintln!(
@@ -274,8 +342,57 @@ fn main() {
 
     service.set_slowlog_threshold_us(opts.slowlog_threshold_us);
 
+    // With faults armed, every site's injection counter joins the
+    // unified registry so `METRICS` (and kvtop) can watch the chaos.
+    if let Some(state) = malthus_fault::armed() {
+        for site in malthus_fault::SITES {
+            service.registry().counter(
+                "kv_faults_injected_total",
+                "Faults injected at this site by the armed fault plan",
+                &[("site", site.name())],
+                move || state.injected(site),
+            );
+        }
+    }
+
     let (listener, control) = kv::bind(&opts.addr).expect("bind listen address");
     println!("listening on {}", control.addr());
+
+    // SIGTERM → the same graceful path as the SHUTDOWN verb. The
+    // handler only flips an atomic; this watcher does the real work
+    // (ServerControl::stop self-connects, which a signal handler must
+    // not), so kill(1), systemd and the chaos harness all get a drain
+    // + final-fsync + clean-marker exit, not an abort.
+    // SAFETY: `on_sigterm` is async-signal-safe (one atomic store)
+    // and has the exact `extern "C" fn(i32)` shape signal(2) expects.
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+    {
+        let control = control.clone();
+        std::thread::Builder::new()
+            .name("kv-sigterm".into())
+            .spawn(move || loop {
+                if TERM_REQUESTED.load(Ordering::SeqCst) {
+                    eprintln!("# kv_server: SIGTERM: draining connections and shutting down");
+                    control.stop();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            })
+            .expect("spawn kv-sigterm watcher");
+    }
+
+    // The healer only matters when a WAL can poison a shard; a
+    // memory-only store never goes read-only.
+    let healer_stop = Arc::new(AtomicBool::new(false));
+    let healer = opts.data_dir.is_some().then(|| {
+        spawn_healer(
+            service.store_arc(),
+            Arc::clone(&healer_stop),
+            HealerConfig::default(),
+        )
+    });
 
     let read_timeout =
         (opts.read_timeout_secs > 0).then(|| Duration::from_secs(opts.read_timeout_secs as u64));
@@ -303,6 +420,19 @@ fn main() {
             "# kv_server: completed={} culls={} reprovisions={} promotions={}",
             stats.completed, stats.culls, stats.reprovisions, stats.fairness_promotions
         );
+    }
+    // Shutdown epilogue, in order: stop probing (the healer must not
+    // race the final fsync), then final-fsync every healthy shard and
+    // stamp the clean marker. Only after the stamp is the exit clean.
+    if let Some(h) = healer {
+        healer_stop.store(true, Ordering::SeqCst);
+        let _ = h.join();
+    }
+    if opts.data_dir.is_some() {
+        match service.shutdown_clean() {
+            Ok(()) => eprintln!("# kv_server: clean shutdown: WALs synced, marker stamped"),
+            Err(e) => eprintln!("# kv_server: clean-shutdown stamp failed: {e}"),
+        }
     }
     // How much per-wakeup batching the pipelined connections achieved
     // (batch = the lock-admission, fsync and write-flush unit).

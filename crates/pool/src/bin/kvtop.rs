@@ -371,8 +371,8 @@ fn render(
     }
     let _ = writeln!(
         f,
-        "{:>5} {:>10} {:>10} {:>9} {:>9} {:>10}",
-        "shard", "reads/s", "writes/s", "wepis/s", "fsyncs/s", "keys"
+        "{:>5} {:>10} {:>10} {:>9} {:>9} {:>10} {:>8} {:>6}",
+        "shard", "reads/s", "writes/s", "wepis/s", "fsyncs/s", "keys", "rejects", "heals"
     );
     for i in &shards {
         let ro = later
@@ -382,7 +382,7 @@ fn render(
             > 0.0;
         let _ = writeln!(
             f,
-            "{i:>5} {:>10.0} {:>10.0} {:>9.0} {:>9.0} {:>10.0}{}",
+            "{i:>5} {:>10.0} {:>10.0} {:>9.0} {:>9.0} {:>10.0} {:>8.0} {:>6.0}{}",
             rate(later, earlier, "kv_shard_reads_total", &shard_label(i)),
             rate(later, earlier, "kv_shard_writes_total", &shard_label(i)),
             rate(
@@ -395,6 +395,16 @@ fn render(
             later
                 .exp
                 .value("kv_shard_keys", &shard_label(i))
+                .unwrap_or(0.0),
+            // Cumulative, not rates: a write refused or a shard
+            // revived is a rare event whose *count* is the story.
+            later
+                .exp
+                .value("kv_readonly_rejects_total", &shard_label(i))
+                .unwrap_or(0.0),
+            later
+                .exp
+                .value("kv_shard_heals_total", &shard_label(i))
                 .unwrap_or(0.0),
             if ro { "  READONLY" } else { "" },
         );

@@ -622,6 +622,21 @@ impl KvService {
         &self.store
     }
 
+    /// A shared handle to the backing store — what background workers
+    /// that outlive a borrow (the shard healer) hold.
+    pub fn store_arc(&self) -> Arc<ShardedKv> {
+        Arc::clone(&self.store)
+    }
+
+    /// Graceful-shutdown epilogue: final-fsync every healthy shard's
+    /// WAL and stamp the clean-shutdown marker in the `MANIFEST` (see
+    /// [`ShardedKv::shutdown_clean`]). Call after the serve loop has
+    /// drained — a write committed *after* the marker would make the
+    /// marker a lie. No-op for memory-only stores.
+    pub fn shutdown_clean(&self) -> std::io::Result<()> {
+        self.store.shutdown_clean()
+    }
+
     /// Pipeline observability: drained-batch counters and the
     /// batch-size distribution (see [`PipelineStats`]).
     pub fn pipeline_stats(&self) -> &PipelineStats {
@@ -777,7 +792,8 @@ impl KvService {
                      reprovisions={} promotions={} rculls={} rgrants={} \
                      pbatches={} pbatchmax={} pbatch_p50={bp50} pbatch_p99={bp99} \
                      wal_syncs={} wal_errors={} readonly_shards={} \
-                     idle_disconnects={} shards={}",
+                     idle_disconnects={} readonly_rejects={} heal_attempts={} \
+                     heals={} shards={}",
                     s.completed,
                     s.culls,
                     s.reprovisions,
@@ -790,6 +806,9 @@ impl KvService {
                     store.wal_errors(),
                     store.readonly_shards(),
                     self.idle_disconnects(),
+                    store.readonly_rejects(),
+                    store.heal_attempts(),
+                    store.heals(),
                     self.store.shard_count()
                 );
             }
@@ -1139,11 +1158,14 @@ pub fn serve_with(
             peer,
         ));
     }
-    // Readers blocked in `read_line` on idle connections would make
-    // the joins below wait for their clients to hang up; close the
-    // sockets so they observe EOF now.
+    // Graceful drain: close only the *read* half of every connection.
+    // Readers blocked in `read_line` observe EOF once the kernel
+    // delivers any bytes already queued, finish the batch they have in
+    // flight, flush its responses over the still-open write half, and
+    // exit — so a request the server accepted before stop is answered,
+    // not dropped, and the joins below cannot wait on an idle client.
     for (_, peer) in &conns {
-        let _ = peer.shutdown(std::net::Shutdown::Both);
+        let _ = peer.shutdown(std::net::Shutdown::Read);
     }
     for (c, _) in conns {
         let _ = c.join();

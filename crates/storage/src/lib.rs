@@ -31,6 +31,7 @@
 
 mod bounded_queue;
 mod buffer_pool;
+pub mod healer;
 mod kccache;
 mod minikv;
 mod router;
@@ -41,6 +42,7 @@ pub mod wal;
 
 pub use bounded_queue::BoundedQueue;
 pub use buffer_pool::{BufferPool, PoolBuffer, SemBufferPool};
+pub use healer::{spawn_healer, HealerConfig};
 pub use kccache::KcCacheDb;
 pub use minikv::MiniKv;
 pub use router::{ShardRouter, FIB_HASH_MULT};
@@ -51,6 +53,7 @@ pub use sharded::{
 pub use simplelru::{LruStats, SimpleLru};
 pub use splay::SplayArena;
 pub use wal::{
-    crc32, FaultPlan, FaultyWalIo, FileWalIo, RecoveryReport, ShardRecovery, ShardWal, WalIo,
-    WalOptions, DEFAULT_CHECKPOINT_BYTES,
+    crc32, stamp_clean_shutdown, take_clean_shutdown, ChaosWalIo, FaultPlan, FaultyWalIo,
+    FileWalIo, RecoveryReport, ShardRecovery, ShardWal, WalIo, WalOptions, CLEAN_SHUTDOWN_MARKER,
+    DEFAULT_CHECKPOINT_BYTES,
 };

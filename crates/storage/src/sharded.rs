@@ -56,7 +56,7 @@
 
 use std::io;
 use std::ops::{Deref, DerefMut};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -68,8 +68,8 @@ use crate::minikv::MiniKv;
 use crate::router::ShardRouter;
 use crate::simplelru::{LruStats, SimpleLru};
 use crate::wal::{
-    check_manifest, open_shard_log, FaultyWalIo, FileWalIo, RecoveryReport, ShardWal, WalIo,
-    WalOptions,
+    check_manifest, open_shard_log, stamp_clean_shutdown, take_clean_shutdown, ChaosWalIo,
+    FaultyWalIo, FileWalIo, RecoveryReport, ShardWal, WalIo, WalOptions,
 };
 
 /// Upper bound a single [`ShardedKv::scan`] will return, whatever the
@@ -268,8 +268,16 @@ struct Shard {
     /// stats can sample it without any lock.
     readonly: AtomicBool,
     /// WAL I/O errors observed (each one poisons, so in practice 0
-    /// or 1 — kept a counter for the STATS wire format).
+    /// or 1 per heal cycle — kept a counter for the STATS wire
+    /// format).
     wal_errors: AtomicU64,
+    /// Write groups refused because the shard was read-only — the
+    /// `ERR shard readonly` replies that would otherwise vanish.
+    readonly_rejects: AtomicU64,
+    /// Heal probes attempted against this shard while read-only.
+    heal_attempts: AtomicU64,
+    /// Heal probes that succeeded and flipped the shard writable.
+    heals: AtomicU64,
 }
 
 impl Shard {
@@ -282,6 +290,9 @@ impl Shard {
             scans: AtomicU64::new(0),
             readonly: AtomicBool::new(false),
             wal_errors: AtomicU64::new(0),
+            readonly_rejects: AtomicU64::new(0),
+            heal_attempts: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
         }
     }
 
@@ -299,13 +310,22 @@ impl Shard {
         pairs: &[(u64, u64)],
         span: &mut malthus_obs::SpanContext,
     ) -> Result<(), WriteError> {
+        if let Some(ms) = malthus_fault::stall_ms(malthus_fault::Site::ShardStall) {
+            // Injected lock-holder stall: sleep while holding the
+            // shard's exclusive lock — the preemption/convoy shape
+            // the Malthusian policy's stall detection reprovisions
+            // around.
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
         if self.readonly.load(Ordering::Relaxed) {
+            self.readonly_rejects.fetch_add(1, Ordering::Relaxed);
             return Err(WriteError { shard: index });
         }
         if let Some(wal) = state.wal.as_mut() {
             if let Err(e) = wal.append_group_span(pairs, span) {
                 self.wal_errors.fetch_add(1, Ordering::Relaxed);
                 self.readonly.store(true, Ordering::Relaxed);
+                self.readonly_rejects.fetch_add(1, Ordering::Relaxed);
                 eprintln!("# malthus-storage: shard {index} WAL error, going read-only: {e}");
                 return Err(WriteError { shard: index });
             }
@@ -342,6 +362,12 @@ pub struct ShardSnapshot {
     pub wal_errors: u64,
     /// The shard is poisoned read-only after a WAL failure.
     pub readonly: bool,
+    /// Write groups refused while the shard was read-only.
+    pub readonly_rejects: u64,
+    /// Heal probes attempted against this shard.
+    pub heal_attempts: u64,
+    /// Heal probes that flipped the shard back to writable.
+    pub heals: u64,
     /// The shard DB lock's RW-CR counters.
     pub db_lock: RwStats,
     /// The shard block cache's hit/miss/displacement counters.
@@ -403,6 +429,21 @@ impl ShardedKvStats {
     pub fn readonly_shards(&self) -> usize {
         self.per_shard.iter().filter(|s| s.readonly).count()
     }
+
+    /// Total write groups refused while a shard was read-only.
+    pub fn readonly_rejects(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.readonly_rejects).sum()
+    }
+
+    /// Total heal probes attempted across shards.
+    pub fn heal_attempts(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.heal_attempts).sum()
+    }
+
+    /// Total successful heals across shards.
+    pub fn heals(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.heals).sum()
+    }
 }
 
 /// A sharded KV store: `N` × ([`MiniKv`] + [`SimpleLru`]) behind `N`
@@ -429,6 +470,10 @@ pub struct ShardedKv {
     /// Fsync latencies across all shards (empty for memory-only
     /// stores: no WAL, no fsyncs). Shared with each [`ShardWal`].
     fsync_hist: Arc<LatencyHistogram>,
+    /// The data directory of a durable store (`None` when
+    /// memory-only) — where [`ShardedKv::shutdown_clean`] stamps the
+    /// clean-shutdown marker.
+    dir: Option<PathBuf>,
 }
 
 impl ShardedKv {
@@ -455,6 +500,7 @@ impl ShardedKv {
             router,
             shards,
             fsync_hist: Arc::new(LatencyHistogram::new()),
+            dir: None,
         }
     }
 
@@ -504,17 +550,28 @@ impl ShardedKv {
     ) -> io::Result<(Self, RecoveryReport)> {
         std::fs::create_dir_all(dir)?;
         check_manifest(dir, shards)?;
+        let clean_marker = take_clean_shutdown(dir)?;
         let router = ShardRouter::new(shards);
         let threshold = opts.checkpoint_threshold();
         let fsync_hist = Arc::new(LatencyHistogram::new());
         let mut built = Vec::with_capacity(shards);
-        let mut report = RecoveryReport::default();
+        let mut report = RecoveryReport {
+            clean_marker,
+            ..RecoveryReport::default()
+        };
+        let chaos = malthus_fault::storage_armed();
         for i in 0..shards {
             let path = dir.join(format!("shard-{i}.wal"));
             let (pairs, file, recovery) = open_shard_log(&path, threshold)?;
-            let file_io = FileWalIo::new(file);
+            // The whole file is committed state at this point:
+            // recovery truncated any torn tail and a checkpoint
+            // rewrite was fsynced. A later heal probe amputates back
+            // to here plus every group committed since.
+            let committed_len = file.metadata()?.len();
+            let file_io = FileWalIo::with_path(file, path);
             let io: Box<dyn WalIo> = match opts.faults.iter().find(|(s, _)| *s == i) {
                 Some((_, plan)) => Box::new(FaultyWalIo::new(file_io, *plan)),
+                None if chaos => Box::new(ChaosWalIo::new(file_io)),
                 None => Box::new(file_io),
             };
             let mut kv = MiniKv::new(memtable_limit);
@@ -523,6 +580,7 @@ impl ShardedKv {
                 kv.put(k, v);
             }
             let mut wal = ShardWal::new(io);
+            wal.set_committed_len(committed_len);
             wal.set_observer(i as u64, Arc::clone(&fsync_hist));
             built.push(Shard::build(ShardState::durable(kv, wal), cache_blocks));
             report.per_shard.push(recovery);
@@ -532,6 +590,7 @@ impl ShardedKv {
                 router,
                 shards: built,
                 fsync_hist,
+                dir: Some(dir.to_path_buf()),
             },
             report,
         ))
@@ -565,6 +624,84 @@ impl ShardedKv {
     /// Panics if `index >= shard_count()`.
     pub fn db_lock(&self, index: usize) -> &RwCrMutex<ShardState> {
         &self.shards[index].db
+    }
+
+    /// Whether shard `index` is currently poisoned read-only — one
+    /// relaxed load, no locks, so the healer can scan every shard on
+    /// every tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= shard_count()`.
+    pub fn shard_readonly(&self, index: usize) -> bool {
+        self.shards[index].readonly.load(Ordering::Relaxed)
+    }
+
+    /// One heal attempt against a read-only shard: under the shard's
+    /// exclusive lock, reopen the WAL's file layer and fsync-probe it
+    /// ([`ShardWal::heal_probe`]). A successful probe flips the shard
+    /// writable again — safe because refused groups were never
+    /// applied in memory, so the log and the store agree.
+    ///
+    /// Returns `true` when the shard is writable on exit (including
+    /// "was never read-only"). Counted in the shard's
+    /// `heal_attempts`/`heals` counters only when a probe actually
+    /// ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= shard_count()`.
+    pub fn try_heal_shard(&self, index: usize) -> bool {
+        let shard = &self.shards[index];
+        if !shard.readonly.load(Ordering::Relaxed) {
+            return true;
+        }
+        shard.heal_attempts.fetch_add(1, Ordering::Relaxed);
+        let mut db = shard.db.write();
+        let healed = match db.wal.as_mut() {
+            Some(wal) => match wal.heal_probe() {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("# malthus-storage: shard {index} heal probe failed: {e}");
+                    false
+                }
+            },
+            // Memory-only shards cannot stay poisoned: nothing to
+            // probe, flip straight back.
+            None => true,
+        };
+        if healed {
+            shard.readonly.store(false, Ordering::Relaxed);
+            shard.heals.fetch_add(1, Ordering::Relaxed);
+            eprintln!("# malthus-storage: shard {index} healed, writable again");
+        }
+        healed
+    }
+
+    /// The graceful-shutdown epilogue: issues a final fsync on every
+    /// healthy shard's WAL (belt-and-braces — every acked write was
+    /// already fsynced by group commit) and stamps the clean-shutdown
+    /// marker in the MANIFEST. Read-only shards are skipped: their
+    /// refused writes were never applied, so they have nothing
+    /// unacked to lose, and their file layer is known bad.
+    ///
+    /// No-op for memory-only stores. Errors on a *healthy* shard's
+    /// final sync abort the stamp — a marker must never overpromise.
+    pub fn shutdown_clean(&self) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.readonly.load(Ordering::Relaxed) {
+                continue;
+            }
+            let mut db = shard.db.write();
+            if let Some(wal) = db.wal.as_mut() {
+                wal.final_sync()
+                    .map_err(|e| io::Error::new(e.kind(), format!("shard {i} final sync: {e}")))?;
+            }
+        }
+        stamp_clean_shutdown(dir)
     }
 
     /// Inserts or updates one key (exclusive access to its shard
@@ -923,6 +1060,9 @@ impl ShardedKv {
             wal_bytes,
             wal_errors: shard.wal_errors.load(Ordering::Relaxed),
             readonly: shard.readonly.load(Ordering::Relaxed),
+            readonly_rejects: shard.readonly_rejects.load(Ordering::Relaxed),
+            heal_attempts: shard.heal_attempts.load(Ordering::Relaxed),
+            heals: shard.heals.load(Ordering::Relaxed),
             db_lock: shard.db.raw().stats(),
             cache,
         }
@@ -937,7 +1077,7 @@ impl ShardedKv {
     /// one shard's locks it reports on.
     pub fn register_metrics(self: &Arc<Self>, registry: &malthus_obs::Registry) {
         type SnapshotCounter = fn(&ShardSnapshot) -> u64;
-        let shard_counters: [(&str, &str, SnapshotCounter); 8] = [
+        let shard_counters: [(&str, &str, SnapshotCounter); 11] = [
             ("kv_shard_reads_total", "Reads served by the shard.", |s| {
                 s.reads
             }),
@@ -972,6 +1112,21 @@ impl ShardedKv {
             ("kv_shard_runs_total", "Frozen memtable runs.", |s| {
                 s.runs as u64
             }),
+            (
+                "kv_readonly_rejects_total",
+                "Write groups refused while the shard was read-only.",
+                |s| s.readonly_rejects,
+            ),
+            (
+                "kv_shard_heal_attempts_total",
+                "Heal probes attempted against the shard.",
+                |s| s.heal_attempts,
+            ),
+            (
+                "kv_shard_heals_total",
+                "Heal probes that flipped the shard back to writable.",
+                |s| s.heals,
+            ),
         ];
         let lock_counters: [(&str, &str, SnapshotCounter); 5] = [
             (

@@ -201,18 +201,47 @@ pub trait WalIo: Send + Sync {
     fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
     /// Makes everything appended so far durable (fsync).
     fn sync(&mut self) -> io::Result<()>;
+    /// Attempts to restore a failed layer — the shard healer's probe
+    /// calls this before its fsync probe. The file layer reopens its
+    /// fd (a failed fsync may have latched an error flag the kernel
+    /// will never clear on that fd); layers with nothing to restore
+    /// keep the default no-op.
+    fn reopen(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    /// Shrinks the log to `len` bytes — the healer's tail amputation:
+    /// a commit that failed mid-way (append landed, fsync refused; or
+    /// a torn short write) leaves un-acked bytes past the last
+    /// committed record, and healing without cutting them off would
+    /// let refused writes resurrect on the next replay. Layers without
+    /// a length keep the default no-op.
+    fn truncate(&mut self, _len: u64) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// The real file layer: `write_all` + `sync_data`.
 #[derive(Debug)]
 pub struct FileWalIo {
     file: File,
+    /// Where the log lives, when known — enables [`WalIo::reopen`].
+    path: Option<PathBuf>,
 }
 
 impl FileWalIo {
-    /// Wraps an append-positioned file.
+    /// Wraps an append-positioned file (no path: `reopen` is a
+    /// no-op).
     pub fn new(file: File) -> Self {
-        FileWalIo { file }
+        FileWalIo { file, path: None }
+    }
+
+    /// Wraps an append-positioned file that lives at `path`, so the
+    /// healer's [`WalIo::reopen`] can swap in a fresh fd.
+    pub fn with_path(file: File, path: PathBuf) -> Self {
+        FileWalIo {
+            file,
+            path: Some(path),
+        }
     }
 }
 
@@ -223,6 +252,68 @@ impl WalIo for FileWalIo {
 
     fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()
+    }
+
+    fn reopen(&mut self) -> io::Result<()> {
+        if let Some(path) = &self.path {
+            self.file = OpenOptions::new().append(true).open(path)?;
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        // Safe under O_APPEND: every subsequent append targets the
+        // file's (new) end, not a remembered offset.
+        self.file.set_len(len)
+    }
+}
+
+/// A [`WalIo`] adapter consulting the process-global
+/// [`malthus_fault`] plan on every operation: fsync failures
+/// (`storage.fsync`), ENOSPC-style append failures (`storage.enospc`,
+/// nothing written), and torn short writes (`storage.short_write`).
+/// Wrapped onto every shard's file layer by `ShardedKv::open_with`
+/// when a plan arms any storage site.
+#[derive(Debug)]
+pub struct ChaosWalIo<W> {
+    inner: W,
+}
+
+impl<W: WalIo> ChaosWalIo<W> {
+    /// Wraps `inner`; faults fire per the installed global plan.
+    pub fn new(inner: W) -> Self {
+        ChaosWalIo { inner }
+    }
+}
+
+impl<W: WalIo> WalIo for ChaosWalIo<W> {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if malthus_fault::fire(malthus_fault::Site::StorageEnospc) {
+            return Err(io::Error::other("injected ENOSPC: no space left on device"));
+        }
+        if malthus_fault::fire(malthus_fault::Site::StorageShortWrite) {
+            self.inner.append(&bytes[..bytes.len() / 2])?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected short write",
+            ));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if malthus_fault::fire(malthus_fault::Site::StorageFsync) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync()
+    }
+
+    fn reopen(&mut self) -> io::Result<()> {
+        self.inner.reopen()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
     }
 }
 
@@ -286,6 +377,14 @@ impl<W: WalIo> WalIo for FaultyWalIo<W> {
         }
         self.inner.sync()
     }
+
+    fn reopen(&mut self) -> io::Result<()> {
+        self.inner.reopen()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
 }
 
 /// One shard's write-ahead log: group-commit appends over a [`WalIo`].
@@ -301,6 +400,14 @@ pub struct ShardWal {
     appends: u64,
     syncs: u64,
     bytes: u64,
+    /// Byte length of the committed (acked-durable) prefix of the log:
+    /// the on-disk valid prefix at open plus every group committed
+    /// since. Anything past it is residue of a failed commit — an
+    /// append whose fsync was refused, or a torn short write — and is
+    /// amputated by [`ShardWal::heal_probe`] before the shard is
+    /// flipped writable, so a refused write can never resurrect on
+    /// replay.
+    committed_len: u64,
     /// Shard id reported in flight-recorder events.
     shard: u64,
     /// Shared fsync-latency histogram, when an observer is attached.
@@ -326,9 +433,18 @@ impl ShardWal {
             appends: 0,
             syncs: 0,
             bytes: 0,
+            committed_len: 0,
             shard: 0,
             sync_hist: None,
         }
+    }
+
+    /// Declares the committed prefix already on disk when the log was
+    /// opened over a pre-existing file (the recovered valid byte
+    /// length, or the file length after a checkpoint rewrite). Without
+    /// this, a heal probe would truncate the replayed prefix away.
+    pub fn set_committed_len(&mut self, len: u64) {
+        self.committed_len = len;
     }
 
     /// Attaches an observer: flight-recorder events carry `shard` as
@@ -383,7 +499,30 @@ impl ShardWal {
         self.appends += 1;
         self.syncs += 1;
         self.bytes += self.buf.len() as u64;
+        self.committed_len += self.buf.len() as u64;
         Ok(())
+    }
+
+    /// The shard healer's durability probe: reopens the file layer
+    /// (a failed fsync may have latched a per-fd error flag),
+    /// truncates away any un-committed tail a failed commit left
+    /// behind (a refused-but-appended record, or a torn short write —
+    /// either would resurrect or corrupt on the next replay), and
+    /// fsyncs, without appending anything. `Ok` means the log can
+    /// take durable writes again. Not counted in
+    /// [`ShardWal::syncs`] — that counter means group commits.
+    pub fn heal_probe(&mut self) -> io::Result<()> {
+        self.io.reopen()?;
+        self.io.truncate(self.committed_len)?;
+        self.io.sync()
+    }
+
+    /// The graceful-shutdown final fsync: makes everything appended
+    /// so far durable without appending. Like [`ShardWal::heal_probe`]
+    /// but without the reopen (the fd is presumed healthy on the
+    /// graceful path) and likewise uncounted.
+    pub fn final_sync(&mut self) -> io::Result<()> {
+        self.io.sync()
     }
 
     /// Group records committed.
@@ -425,6 +564,9 @@ pub struct ShardRecovery {
 pub struct RecoveryReport {
     /// One report per shard, index = shard id.
     pub per_shard: Vec<ShardRecovery>,
+    /// The previous process stamped the clean-shutdown marker (and
+    /// this open consumed it) — see [`take_clean_shutdown`].
+    pub clean_marker: bool,
 }
 
 impl RecoveryReport {
@@ -584,6 +726,67 @@ pub fn check_manifest(dir: &Path, shards: usize) -> io::Result<()> {
     }
 }
 
+/// The MANIFEST line a graceful shutdown stamps after its final group
+/// fsync. Its *presence* on the next open means the previous process
+/// exited through the drain path; openers consume it immediately
+/// ([`take_clean_shutdown`]), so a later crash cannot inherit it.
+pub const CLEAN_SHUTDOWN_MARKER: &str = "clean-shutdown";
+
+fn rewrite_manifest(dir: &Path, text: &str) -> io::Result<()> {
+    // Same tmp + fsync + rename discipline as a checkpoint: a crash
+    // mid-rewrite must never corrupt the `shards` pin.
+    let path = dir.join("MANIFEST");
+    let tmp = tmp_sibling(&path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    sync_parent_dir(&path);
+    Ok(())
+}
+
+/// Stamps the [`CLEAN_SHUTDOWN_MARKER`] into `dir`'s MANIFEST —
+/// called by the graceful-shutdown path *after* the final group
+/// fsync. Idempotent.
+pub fn stamp_clean_shutdown(dir: &Path) -> io::Result<()> {
+    let mut text = fs::read_to_string(dir.join("MANIFEST"))?;
+    if text.lines().any(|l| l.trim() == CLEAN_SHUTDOWN_MARKER) {
+        return Ok(());
+    }
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(CLEAN_SHUTDOWN_MARKER);
+    text.push('\n');
+    rewrite_manifest(dir, &text)
+}
+
+/// Reads **and clears** the clean-shutdown marker: returns whether
+/// the previous process shut down gracefully, and rewrites the
+/// MANIFEST without the marker so a crash of *this* process reports
+/// unclean. A missing MANIFEST (fresh dir) reads as `false`.
+pub fn take_clean_shutdown(dir: &Path) -> io::Result<bool> {
+    let text = match fs::read_to_string(dir.join("MANIFEST")) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    if !text.lines().any(|l| l.trim() == CLEAN_SHUTDOWN_MARKER) {
+        return Ok(false);
+    }
+    let mut kept = String::with_capacity(text.len());
+    for line in text.lines() {
+        if line.trim() != CLEAN_SHUTDOWN_MARKER {
+            kept.push_str(line);
+            kept.push('\n');
+        }
+    }
+    rewrite_manifest(dir, &kept)?;
+    Ok(true)
+}
+
 /// Per-store durability options for `ShardedKv::open_with`.
 #[derive(Debug, Clone, Default)]
 pub struct WalOptions {
@@ -625,6 +828,12 @@ impl WalIo for VecWalIo {
 
     fn sync(&mut self) -> io::Result<()> {
         self.syncs += 1;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.bytes
+            .truncate(usize::try_from(len).unwrap_or(usize::MAX));
         Ok(())
     }
 }
@@ -818,6 +1027,78 @@ mod tests {
         let (pairs2, _f2, rec2) = open_shard_log(&path, 64).unwrap();
         assert!(!rec2.checkpointed);
         assert_eq!(pairs2, pairs);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_shutdown_marker_stamps_and_takes_once() {
+        let dir = temp_dir("marker");
+        check_manifest(&dir, 2).unwrap();
+        assert!(!take_clean_shutdown(&dir).unwrap(), "fresh dir is unclean");
+        stamp_clean_shutdown(&dir).unwrap();
+        stamp_clean_shutdown(&dir).unwrap(); // idempotent
+        check_manifest(&dir, 2).unwrap(); // shard pin survives the marker
+        assert!(take_clean_shutdown(&dir).unwrap());
+        assert!(!take_clean_shutdown(&dir).unwrap(), "marker is consumed");
+        check_manifest(&dir, 2).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heal_probe_reopens_and_syncs_a_real_file() {
+        let dir = temp_dir("heal");
+        let path = dir.join("shard-0.wal");
+        let (_, file, _) = open_shard_log(&path, u64::MAX).unwrap();
+        let mut wal = ShardWal::new(Box::new(FileWalIo::with_path(file, path.clone())));
+        wal.append_group(&[(1, 10)]).unwrap();
+        wal.heal_probe().unwrap();
+        wal.final_sync().unwrap();
+        // Appends keep extending the log through the reopened fd.
+        wal.append_group(&[(2, 20)]).unwrap();
+        assert_eq!(wal.syncs(), 2, "probe and final sync are uncounted");
+        drop(wal);
+        let (pairs, _f, _rec) = open_shard_log(&path, u64::MAX).unwrap();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heal_probe_amputates_the_refused_record_so_it_cannot_resurrect() {
+        let dir = temp_dir("amputate");
+        let path = dir.join("shard-0.wal");
+        // Seed one committed record so the probe must preserve a
+        // non-empty prefix, not just truncate to zero.
+        let (_, file, _) = open_shard_log(&path, u64::MAX).unwrap();
+        let mut wal = ShardWal::new(Box::new(FileWalIo::with_path(file, path.clone())));
+        wal.append_group(&[(1, 10)]).unwrap();
+        drop(wal);
+
+        let (pairs, file, rec) = open_shard_log(&path, u64::MAX).unwrap();
+        assert_eq!(pairs, vec![(1, 10)]);
+        let plan = FaultPlan {
+            fail_sync_at: Some(0),
+            ..FaultPlan::default()
+        };
+        let mut wal = ShardWal::new(Box::new(FaultyWalIo::new(
+            FileWalIo::with_path(file, path.clone()),
+            plan,
+        )));
+        wal.set_committed_len(rec.valid_bytes);
+        // The refused commit: append lands, fsync is injected to fail,
+        // so the record's bytes sit un-acked past the committed
+        // prefix. Without amputation they would replay as (2, 20).
+        wal.append_group(&[(2, 20)]).unwrap_err();
+        assert!(fs::metadata(&path).unwrap().len() > rec.valid_bytes);
+        wal.heal_probe().unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), rec.valid_bytes);
+        // Healed means writable: the next commit lands cleanly after
+        // the preserved prefix.
+        wal.append_group(&[(3, 30)]).unwrap();
+        drop(wal);
+        let (pairs, _f, rec) = open_shard_log(&path, u64::MAX).unwrap();
+        assert_eq!(pairs, vec![(1, 10), (3, 30)], "refused write resurrected");
+        assert_eq!(rec.bad_records, 0);
+        assert!(!rec.torn_tail);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -193,6 +193,112 @@ fn checkpoint_compacts_overwrite_heavy_logs_on_open() {
 }
 
 #[test]
+fn short_write_on_append_then_reopen_preserves_the_valid_prefix() {
+    use malthus_storage::wal::FaultPlan;
+    let dir = temp_dir("shortwrite");
+    {
+        // Shard 0's second append is torn halfway (the ENOSPC /
+        // crash-mid-write shape): the first group must survive, the
+        // torn one must not resurrect.
+        let opts = WalOptions {
+            faults: vec![(
+                0,
+                FaultPlan {
+                    short_append_at: Some(1),
+                    ..FaultPlan::default()
+                },
+            )],
+            ..WalOptions::default()
+        };
+        let (kv, _) = ShardedKv::open_with(&dir, 1, MEMTABLE, CACHE, opts).unwrap();
+        kv.put(1, 10).unwrap();
+        assert!(kv.put(2, 20).is_err(), "torn append refuses the write");
+        assert_eq!(kv.get(2), None, "refused write is not applied");
+        assert!(kv.shard_readonly(0));
+    }
+    // Reopen: replay stops at the torn record, truncates it away,
+    // and new appends extend the valid prefix.
+    let (kv, report) = ShardedKv::open(&dir, 1, MEMTABLE, CACHE).unwrap();
+    assert!(report.per_shard[0].torn_tail, "half a record on disk");
+    assert_eq!(report.pairs(), 1);
+    assert_eq!(kv.get(1), Some(10));
+    assert_eq!(kv.get(2), None);
+    kv.put(3, 30).unwrap();
+    drop(kv);
+    let (kv, report) = ShardedKv::open(&dir, 1, MEMTABLE, CACHE).unwrap();
+    assert!(report.clean(), "truncation left a well-formed log");
+    assert_eq!(kv.get(1), Some(10));
+    assert_eq!(kv.get(3), Some(30));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn healing_after_a_short_write_amputates_the_torn_tail_in_place() {
+    use malthus_storage::wal::FaultPlan;
+    let dir = temp_dir("heal-shortwrite");
+    {
+        let opts = WalOptions {
+            faults: vec![(
+                0,
+                FaultPlan {
+                    short_append_at: Some(1),
+                    ..FaultPlan::default()
+                },
+            )],
+            ..WalOptions::default()
+        };
+        let (kv, _) = ShardedKv::open_with(&dir, 1, MEMTABLE, CACHE, opts).unwrap();
+        kv.put(1, 10).unwrap();
+        assert!(kv.put(2, 20).is_err(), "torn append refuses the write");
+        assert!(kv.shard_readonly(0));
+        // Heal without restarting: the probe must cut off the torn
+        // half-record, or the next commit would land after garbage
+        // and be unreadable on replay.
+        assert!(kv.try_heal_shard(0));
+        assert!(!kv.shard_readonly(0));
+        kv.put(3, 30).unwrap();
+    }
+    let (kv, report) = ShardedKv::open(&dir, 1, MEMTABLE, CACHE).unwrap();
+    assert!(report.clean(), "amputation left a well-formed log");
+    assert_eq!(kv.get(1), Some(10), "committed prefix preserved");
+    assert_eq!(kv.get(2), None, "torn write must not resurrect");
+    assert_eq!(kv.get(3), Some(30), "post-heal acked write survives replay");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_append_then_reopen_loses_nothing() {
+    use malthus_storage::wal::FaultPlan;
+    let dir = temp_dir("enospc");
+    {
+        // ENOSPC-style: the second append fails outright, nothing of
+        // the record reaches the file.
+        let opts = WalOptions {
+            faults: vec![(
+                0,
+                FaultPlan {
+                    fail_append_at: Some(1),
+                    ..FaultPlan::default()
+                },
+            )],
+            ..WalOptions::default()
+        };
+        let (kv, _) = ShardedKv::open_with(&dir, 1, MEMTABLE, CACHE, opts).unwrap();
+        kv.put(1, 10).unwrap();
+        assert!(kv.put(2, 20).is_err());
+    }
+    let (kv, report) = ShardedKv::open(&dir, 1, MEMTABLE, CACHE).unwrap();
+    assert!(
+        report.clean(),
+        "nothing torn: the failed append wrote 0 bytes"
+    );
+    assert_eq!(report.pairs(), 1);
+    assert_eq!(kv.get(1), Some(10));
+    assert_eq!(kv.get(2), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shard_count_is_pinned_by_the_manifest() {
     let dir = temp_dir("manifest");
     {

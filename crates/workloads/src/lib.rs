@@ -33,6 +33,7 @@ mod choice;
 pub mod live;
 
 pub mod bufferpool;
+pub mod chaos;
 pub mod kccachetest;
 pub mod keymap;
 pub mod lrucache;
